@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Small shared helpers for the benchmark executables: command-line
+ * scale/grid options and banner printing.
+ */
+
+#ifndef TWOLAYER_BENCH_BENCH_UTIL_H_
+#define TWOLAYER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "net/config.h"
+
+namespace tli::bench {
+
+/** Options common to every experiment binary. */
+struct Options
+{
+    /** Workload scale relative to the calibrated defaults. */
+    double scale = 1.0;
+    /** Use a reduced parameter grid (smoke-test mode). */
+    bool quick = false;
+
+    static Options
+    parse(int argc, char **argv)
+    {
+        Options o;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+                o.scale = std::atof(argv[i] + 8);
+            } else if (std::strcmp(argv[i], "--quick") == 0) {
+                o.quick = true;
+            } else if (std::strcmp(argv[i], "--help") == 0) {
+                std::printf("usage: %s [--scale=X] [--quick]\n",
+                            argv[0]);
+                std::exit(0);
+            }
+        }
+        return o;
+    }
+
+    core::Scenario
+    baseScenario() const
+    {
+        core::Scenario s;
+        s.problemScale = scale * (quick ? 0.2 : 1.0);
+        return s;
+    }
+
+    std::vector<double>
+    bandwidthGrid() const
+    {
+        if (quick)
+            return {6.3, 0.3, 0.03};
+        return net::figureBandwidthsMBs();
+    }
+
+    std::vector<double>
+    latencyGrid() const
+    {
+        if (quick)
+            return {0.5, 30, 300};
+        return net::figureLatenciesMs();
+    }
+};
+
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("==============================================="
+                "=====================\n");
+    std::printf("%s\n", what);
+    std::printf("reproduces: %s\n", paper_ref);
+    std::printf("==============================================="
+                "=====================\n");
+}
+
+} // namespace tli::bench
+
+#endif // TWOLAYER_BENCH_BENCH_UTIL_H_

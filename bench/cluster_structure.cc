@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces the cluster-structure experiment of §5.1: with a fully
+ * connected wide-area network, more and smaller clusters outperform
+ * fewer larger ones at the same total processor count, because
+ * bisection bandwidth grows with the number of slow links.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "apps/registry.h"
+#include "bench/bench_util.h"
+#include "core/metrics.h"
+
+using namespace tli;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::Options::parse(argc, argv);
+    bench::banner("Cluster structure: 32 processors as 1x32, 2x16, "
+                  "4x8, 8x4 (6 MB/s, 0.5 ms)",
+                  "Plaat et al., HPCA'99, Section 5.1");
+
+    struct Shape
+    {
+        int clusters;
+        int procs;
+    };
+    const Shape shapes[] = {{1, 32}, {2, 16}, {4, 8}, {8, 4}};
+
+    core::TextTable table({"Program", "1x32", "2x16", "4x8", "8x4"});
+    for (auto &v : apps::bestVariants()) {
+        std::vector<std::string> row{v.fullName()};
+        double t_single = 0;
+        for (const Shape &sh : shapes) {
+            core::Scenario s = opt.baseScenario();
+            s.clusters = sh.clusters;
+            s.procsPerCluster = sh.procs;
+            s.wanBandwidthMBs = 6.0;
+            s.wanLatencyMs = 0.5;
+            core::RunResult r = v.run(s);
+            if (!r.verified) {
+                row.push_back("FAILED");
+                continue;
+            }
+            if (sh.clusters == 1)
+                t_single = r.runTime;
+            row.push_back(
+                core::TextTable::num(100 * t_single / r.runTime, 1) +
+                "%");
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::printf("\npaper: \"a setup of 8 clusters of 4 processors "
+                "outperforms 4 clusters of 8\" —\nbisection bandwidth "
+                "of the fully connected wide area grows with the "
+                "cluster count,\nso the 8x4 column should dominate "
+                "the 4x8 column for the bandwidth-sensitive apps.\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces Figure 1: inter-cluster communication volume (MByte/s
+ * per cluster) versus messages per second per cluster for the
+ * unoptimized applications on 4 clusters of 8 processors with
+ * 6 MByte/s / 0.5 ms wide-area links.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "apps/registry.h"
+#include "bench/bench_util.h"
+#include "core/metrics.h"
+
+using namespace tli;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::Options::parse(argc, argv);
+    bench::banner("Figure 1: Communication Volume and Messages "
+                  "(4 clusters x 8 procs, 6 MB/s, 0.5 ms)",
+                  "Plaat et al., HPCA'99, Figure 1");
+
+    core::TextTable table({"Program", "Volume MByte/s per cluster",
+                           "Messages/s per cluster", "verified"});
+    for (auto &v : apps::unoptimizedVariants()) {
+        core::Scenario s = opt.baseScenario();
+        s.clusters = 4;
+        s.procsPerCluster = 8;
+        s.wanBandwidthMBs = 6.0;
+        s.wanLatencyMs = 0.5;
+        core::RunResult r = v.run(s);
+
+        // Average outbound rate over the four clusters.
+        double volume = 0;
+        double messages = 0;
+        for (int c = 0; c < 4; ++c) {
+            volume += r.interVolumePerClusterMBs(c);
+            messages += r.interMsgsPerClusterPerSec(c);
+        }
+        table.addRow({v.app, core::TextTable::num(volume / 4, 2),
+                      core::TextTable::num(messages / 4, 0),
+                      r.verified ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+    std::printf("\npaper's reading of Figure 1 (volume per cluster / "
+                "messages per second):\n"
+                "  FFT and Barnes-Hut: high volume (~7 MB/s); Awari: "
+                ">4000 tiny messages/s;\n"
+                "  TSP: lowest volume; Water and ASP: <2 MB/s, <1000 "
+                "messages/s.\n");
+    return 0;
+}

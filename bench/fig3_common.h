@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared driver for the Figure 3 panels: one speedup surface
+ * (relative to the all-Myrinet machine) per application variant over
+ * the paper's bandwidth x latency grid, on 4 clusters of 8.
+ */
+
+#ifndef TWOLAYER_BENCH_FIG3_COMMON_H_
+#define TWOLAYER_BENCH_FIG3_COMMON_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "bench/bench_util.h"
+#include "core/gap_study.h"
+
+namespace tli::bench {
+
+inline int
+runFig3(const std::string &app, const std::vector<std::string> &variants,
+        int argc, char **argv)
+{
+    Options opt = Options::parse(argc, argv);
+    std::string title = "Figure 3 panel(s): " + app +
+                        " speedup relative to all-Myrinet "
+                        "(4 clusters x 8 processors)";
+    banner(title.c_str(), "Plaat et al., HPCA'99, Figure 3");
+
+    core::Scenario base = opt.baseScenario();
+    base.clusters = 4;
+    base.procsPerCluster = 8;
+
+    for (const std::string &variant : variants) {
+        core::GapStudy study(apps::findVariant(app, variant), base);
+        core::Surface s = study.speedupSurface(opt.bandwidthGrid(),
+                                               opt.latencyGrid());
+        s.printPercent(std::cout);
+        std::printf("\n");
+    }
+    return 0;
+}
+
+} // namespace tli::bench
+
+#endif // TWOLAYER_BENCH_FIG3_COMMON_H_

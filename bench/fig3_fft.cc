@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Reproduces the FFT panel of Figure 3: relative speedup over the
+ * bandwidth x latency grid. FFT has no optimized variant (the paper
+ * found no multi-cluster optimization for the transpose pattern).
+ */
+
+#include "bench/fig3_common.h"
+
+int
+main(int argc, char **argv)
+{
+    return tli::bench::runFig3("fft", {"unopt"}, argc, argv);
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Reproduces the water panels of Figure 3 (unoptimized and
+ * optimized): relative speedup over the bandwidth x latency grid.
+ */
+
+#include "bench/fig3_common.h"
+
+int
+main(int argc, char **argv)
+{
+    return tli::bench::runFig3("water", {"unopt", "opt"}, argc, argv);
+}

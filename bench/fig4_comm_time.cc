@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Figure 4: the percentage of run time spent in
+ * inter-cluster communication, (a) as a function of bandwidth at
+ * 3.3 ms one-way latency and (b) as a function of latency at
+ * 0.9 MByte/s, for the best variant of each application on 4 clusters
+ * of 8. Computed exactly as the paper does: (Tmulti - Tsingle) /
+ * Tmulti.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "apps/registry.h"
+#include "bench/bench_util.h"
+#include "core/gap_study.h"
+
+using namespace tli;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::Options::parse(argc, argv);
+    bench::banner("Figure 4: Inter-cluster communication time vs "
+                  "bandwidth (3.3 ms) and vs latency (0.9 MB/s)",
+                  "Plaat et al., HPCA'99, Figure 4");
+
+    core::Scenario base = opt.baseScenario();
+    base.clusters = 4;
+    base.procsPerCluster = 8;
+
+    std::vector<double> bw_grid =
+        opt.quick ? std::vector<double>{6.3, 0.95, 0.1}
+                  : std::vector<double>{10, 6.3, 3.0, 0.95, 0.3, 0.1,
+                                        0.03};
+    std::vector<double> lat_grid =
+        opt.quick ? std::vector<double>{0.5, 10, 100}
+                  : std::vector<double>{0.1, 0.5, 1.3, 3.3, 10, 30,
+                                        100};
+
+    std::printf("(a) communication time%% vs bandwidth at 3.3 ms "
+                "one-way latency\n");
+    core::TextTable bw_table([&] {
+        std::vector<std::string> h{"Program"};
+        for (double b : bw_grid)
+            h.push_back(core::TextTable::num(b, 2) + "MB/s");
+        return h;
+    }());
+    for (auto &v : apps::bestVariants()) {
+        core::GapStudy study(v, base);
+        core::Surface s = study.commTimeSurface(bw_grid, {3.3});
+        std::vector<std::string> row{v.fullName()};
+        for (std::size_t j = 0; j < bw_grid.size(); ++j)
+            row.push_back(core::TextTable::num(100 * s.values[0][j], 1) +
+                          "%");
+        bw_table.addRow(std::move(row));
+    }
+    bw_table.print(std::cout);
+
+    std::printf("\n(b) communication time%% vs one-way latency at "
+                "0.9 MByte/s\n");
+    core::TextTable lat_table([&] {
+        std::vector<std::string> h{"Program"};
+        for (double l : lat_grid)
+            h.push_back(core::TextTable::num(l, 1) + "ms");
+        return h;
+    }());
+    for (auto &v : apps::bestVariants()) {
+        core::GapStudy study(v, base);
+        core::Surface s = study.commTimeSurface({0.9}, lat_grid);
+        std::vector<std::string> row{v.fullName()};
+        for (std::size_t i = 0; i < lat_grid.size(); ++i)
+            row.push_back(core::TextTable::num(100 * s.values[i][0], 1) +
+                          "%");
+        lat_table.addRow(std::move(row));
+    }
+    lat_table.print(std::cout);
+
+    std::printf("\npaper's reading of Figure 4: FFT ~100%% everywhere; "
+                "Awari close behind;\nTSP nearly flat in the bandwidth "
+                "graph (null-RPC-like);\nBarnes/Water/ASP nearly flat "
+                "in the latency graph up to ~3 ms.\n");
+    return 0;
+}

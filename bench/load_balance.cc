@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Load-balance analysis behind two of the paper's §3.2 claims: TSP's
+ * distributed queue steals work "to maintain a good load balance",
+ * and Awari's message combining is bounded because "too much message
+ * combining results in load imbalance". Reports the busiest-rank /
+ * mean compute-time factor per application and the Awari imbalance as
+ * a function of batch size.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "apps/awari/awari.h"
+#include "apps/registry.h"
+#include "bench/bench_util.h"
+#include "core/metrics.h"
+
+using namespace tli;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::Options::parse(argc, argv);
+    bench::banner("Load balance: busiest rank / mean compute time "
+                  "(4x8, 6 MB/s, 3.3 ms)",
+                  "Plaat et al., HPCA'99, Section 3.2 (TSP, Awari)");
+
+    core::Scenario s = opt.baseScenario();
+    s.clusters = 4;
+    s.procsPerCluster = 8;
+    s.wanBandwidthMBs = 6.0;
+    s.wanLatencyMs = 3.3;
+
+    core::TextTable table({"program", "unopt imbalance",
+                           "opt imbalance"});
+    for (const char *app : {"water", "barnes", "tsp", "asp", "awari"}) {
+        auto unopt = apps::findVariant(app, "unopt").run(s);
+        auto optr = apps::findVariant(app, "opt").run(s);
+        table.addRow({app,
+                      core::TextTable::num(unopt.loadImbalance(), 3),
+                      core::TextTable::num(optr.loadImbalance(), 3)});
+    }
+    auto fft = apps::findVariant("fft", "unopt").run(s);
+    table.addRow({"fft", core::TextTable::num(fft.loadImbalance(), 3),
+                  "-"});
+    table.print(std::cout);
+
+    std::printf("\nAwari vs combining batch size: the charged work "
+                "stays put, but values\nheld in batches make "
+                "processors wait (the paper's imbalance caveat "
+                "shows\nup as run time, not as work distribution):\n");
+    core::TextTable awari({"batch size", "work imbalance",
+                           "relative runtime"});
+    double t_ref = 0;
+    std::vector<int> batches =
+        opt.quick ? std::vector<int>{8, 512}
+                  : std::vector<int>{1, 8, 64, 512, 4096};
+    for (int b : batches) {
+        auto r = apps::awari::runWithCombining(s, b, true);
+        if (t_ref == 0)
+            t_ref = r.runTime;
+        awari.addRow({std::to_string(b),
+                      core::TextTable::num(r.loadImbalance(), 3),
+                      core::TextTable::num(r.runTime / t_ref, 2) +
+                          "x"});
+    }
+    awari.print(std::cout);
+    std::printf("\nreading: data-parallel programs (ASP, FFT) are "
+                "statically balanced; TSP's\nsearch is skewed and the "
+                "distributed queue with stealing balances it better\n"
+                "than the central one; Awari's combining gains "
+                "saturate quickly — beyond\nthat, bigger batches only "
+                "delay values at stage boundaries.\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces the problem-size claim of §3: "For all applications,
+ * larger problems give better speedups. We use relatively small
+ * problem sizes in order to get medium grain communication." Sweeps
+ * the workload scale on the multi-cluster machine and reports the
+ * retained fraction of all-Myrinet speedup.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "apps/asp/asp.h"
+#include "apps/registry.h"
+#include "bench/bench_util.h"
+#include "core/gap_study.h"
+#include "core/metrics.h"
+
+using namespace tli;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::Options::parse(argc, argv);
+    bench::banner("Problem-size sensitivity: relative speedup vs "
+                  "workload scale (4x8, 1 MB/s, 10 ms)",
+                  "Plaat et al., HPCA'99, Section 3 (problem sizes)");
+
+    std::vector<double> scales =
+        opt.quick ? std::vector<double>{0.25, 1.0}
+                  : std::vector<double>{0.25, 0.5, 1.0, 2.0};
+
+    core::TextTable table([&] {
+        std::vector<std::string> h{"application"};
+        for (double s : scales)
+            h.push_back("scale " + core::TextTable::num(s, 2));
+        return h;
+    }());
+
+    for (auto &v : apps::bestVariants()) {
+        std::vector<std::string> row{v.fullName()};
+        for (double scale : scales) {
+            core::Scenario s = opt.baseScenario();
+            s.clusters = 4;
+            s.procsPerCluster = 8;
+            s.wanBandwidthMBs = 1.0;
+            s.wanLatencyMs = 10.0;
+            s.problemScale = scale * s.problemScale;
+            core::GapStudy study(v, s);
+            double t_single = study.baseline().runTime;
+            core::RunResult r = study.at(1.0, 10.0);
+            if (!r.verified) {
+                row.push_back("FAILED");
+                continue;
+            }
+            row.push_back(
+                core::TextTable::num(100 * t_single / r.runTime, 1) +
+                "%");
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::printf("\nnote: the calibration rule pins per-STEP costs to "
+                "the paper's inputs, so\nproblemScale mostly changes "
+                "the step count and the ratios above stay flat\n"
+                "(Barnes and Awari change because their grain scales "
+                "with the input).\n");
+
+    // The genuine grain effect, with natural (unpinned) costs: ASP at
+    // increasing matrix sizes. Per-step compute grows as n^2/p while
+    // the per-step latency cost is constant.
+    std::printf("\nASP with natural cost scaling (unpinned), same "
+                "network:\n");
+    core::TextTable grain({"matrix n", "relative speedup"});
+    std::vector<int> ns = opt.quick ? std::vector<int>{128, 512}
+                                    : std::vector<int>{128, 256, 512,
+                                                       1024};
+    for (int n : ns) {
+        apps::asp::Config cfg;
+        cfg.n = n;
+        cfg.pinnedCosts = false;
+        core::Scenario s = opt.baseScenario();
+        s.clusters = 4;
+        s.procsPerCluster = 8;
+        s.wanBandwidthMBs = 1.0;
+        s.wanLatencyMs = 10.0;
+        double t_single =
+            apps::asp::run(s.asAllMyrinet(),
+                           apps::asp::SequencerPolicy::migrating, cfg)
+                .runTime;
+        core::RunResult r = apps::asp::run(
+            s, apps::asp::SequencerPolicy::migrating, cfg);
+        grain.addRow({std::to_string(n),
+                      core::TextTable::num(100 * t_single / r.runTime,
+                                           1) +
+                          "%"});
+    }
+    grain.print(std::cout);
+    std::printf("\nreading: per-step compute grows with the problem "
+                "while per-step latency\ncosts stay fixed, so larger "
+                "problems tolerate the gap better — which is\nwhy the "
+                "paper deliberately uses small inputs to stress the "
+                "interconnect.\n");
+    return 0;
+}

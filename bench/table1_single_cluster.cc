@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Table 1: single-cluster speedup on 8 and 32 processors,
+ * total traffic, and run time for the six applications on an
+ * all-Myrinet machine.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "apps/registry.h"
+#include "bench/bench_util.h"
+#include "core/metrics.h"
+
+using namespace tli;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::Options::parse(argc, argv);
+    bench::banner("Table 1: Single-Cluster Speedup on 8 and 32 "
+                  "processors",
+                  "Plaat et al., HPCA'99, Table 1");
+
+    core::TextTable table({"Program", "Speedup 32p", "Speedup 8p",
+                           "Total Traffic 32p MByte/s",
+                           "Runtime 32p (s)", "verified"});
+
+    for (auto &v : apps::unoptimizedVariants()) {
+        core::Scenario seq = opt.baseScenario().asSequential();
+        core::Scenario p8 = seq;
+        p8.procsPerCluster = 8;
+        core::Scenario p32 = seq;
+        p32.procsPerCluster = 32;
+
+        core::RunResult rs = v.run(seq);
+        core::RunResult r8 = v.run(p8);
+        core::RunResult r32 = v.run(p32);
+
+        // Total traffic rate: all bytes moved (one cluster, so all of
+        // it is intra-cluster) per second of run time.
+        double traffic =
+            r32.traffic.intra.bytes / r32.runTime / 1e6;
+        bool ok = rs.verified && r8.verified && r32.verified;
+        table.addRow({v.app,
+                      core::TextTable::num(rs.runTime / r32.runTime, 1),
+                      core::TextTable::num(rs.runTime / r8.runTime, 1),
+                      core::TextTable::num(traffic, 1),
+                      core::TextTable::num(r32.runTime, 2),
+                      ok ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+    std::printf("\npaper reports (speedup32/speedup8/traffic/runtime):"
+                "\n  Water 31.2/7.8/3.8/9.1  Barnes 28.4/7.1/17.8/1.8"
+                "  TSP 29.2/7.7/0.52/4.7\n  ASP 31.3/7.8/0.75/6.0"
+                "  Awari 7.8/4.6/4.1/2.3  FFT 32.9/5.3/128.0/0.26\n");
+    std::printf("note: run times scale with the reduced default "
+                "problem sizes;\nthe speedup columns are the "
+                "comparable quantity.\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tour of the MagPIe collective-communication library: the same MPI
+ * program running on flat (MPICH-like) and cluster-aware algorithms,
+ * showing identical results with very different wide-area behaviour.
+ */
+
+#include <cstdio>
+
+#include "magpie/communicator.h"
+#include "net/config.h"
+#include "sim/simulation.h"
+
+using namespace tli;
+using magpie::Algorithm;
+using magpie::ReduceOp;
+using magpie::Table;
+using magpie::Vec;
+
+namespace {
+
+/** A small "MPI program": every rank runs this. */
+sim::Task<void>
+program(magpie::Communicator &comm, Rank self, double *out_sum)
+{
+    const int p = comm.size();
+
+    // Rank 0 announces a parameter vector to everyone.
+    Vec params;
+    if (self == 0)
+        params = {3.14, 2.71, 1.41};
+    params = co_await comm.bcast(self, 0, std::move(params));
+
+    // Everyone contributes a partial result; the sum comes back to
+    // all (the classic iteration heartbeat).
+    Vec partial{params[0] * self, params[1]};
+    Vec sum = co_await comm.allreduce(self, std::move(partial),
+                                      ReduceOp::sum());
+
+    // A personalized exchange: rank s sends value s*1000+d to rank d.
+    Table out(p);
+    for (Rank d = 0; d < p; ++d)
+        out[d] = {self * 1000.0 + d};
+    Table in = co_await comm.alltoall(self, std::move(out));
+
+    co_await comm.barrier(self);
+    if (self == 0) {
+        *out_sum = sum[0] + in[p - 1][0];
+    }
+}
+
+double
+runWith(Algorithm alg, double *completion)
+{
+    sim::Simulation sim;
+    net::Topology topo(4, 8);
+    net::Fabric fabric(sim, topo, net::dasParams(1.0, 30.0));
+    panda::Panda panda(sim, fabric);
+    magpie::Communicator comm(panda, alg);
+
+    double result = 0;
+    for (Rank r = 0; r < topo.totalRanks(); ++r)
+        sim.spawn(program(comm, r, &result));
+    sim.run();
+    *completion = sim.now();
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("4 clusters x 8 ranks, wide area 1 MByte/s / 30 ms\n\n");
+    double t_flat = 0, t_magpie = 0;
+    double r_flat = runWith(Algorithm::flat, &t_flat);
+    double r_magpie = runWith(Algorithm::magpie, &t_magpie);
+
+    std::printf("flat   (MPICH-like): result %.4f, completed in "
+                "%6.1f ms\n", r_flat, t_flat * 1e3);
+    std::printf("magpie (cluster-aware): result %.4f, completed in "
+                "%6.1f ms\n", r_magpie, t_magpie * 1e3);
+    std::printf("\nsame answers, %.1fx faster: every data item "
+                "crosses each wide-area link\nat most once, and "
+                "wide-area transfers run in parallel. No application\n"
+                "code changed — only the algorithm family behind the "
+                "same interface\n(the MagPIe idea, paper section 6).\n",
+                t_flat / t_magpie);
+    return 0;
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Writing your own application against the substrate: a 1-D Jacobi
+ * heat-diffusion solver with halo exchange and a global residual
+ * test. Demonstrates the coroutine process model, point-to-point
+ * messaging, collectives, the CPU cost model, and verification
+ * against a sequential reference — the same structure the six paper
+ * applications use.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "apps/common.h"
+#include "apps/partition.h"
+#include "magpie/communicator.h"
+
+using namespace tli;
+using magpie::Vec;
+
+namespace {
+
+constexpr int haloTag = 9000;
+constexpr int cells = 4096;
+constexpr int maxIters = 200;
+constexpr double tolerance = 1e-4;
+constexpr double costPerCellUpdate = 50e-9;
+
+/** Sequential reference: full-grid Jacobi until converged. */
+int
+jacobiSequential(std::vector<double> &grid)
+{
+    std::vector<double> next(grid.size());
+    for (int it = 0; it < maxIters; ++it) {
+        double residual = 0;
+        next.front() = grid.front();
+        next.back() = grid.back();
+        for (std::size_t i = 1; i + 1 < grid.size(); ++i) {
+            next[i] = 0.5 * (grid[i - 1] + grid[i + 1]);
+            residual = std::max(residual,
+                                std::fabs(next[i] - grid[i]));
+        }
+        grid.swap(next);
+        if (residual < tolerance)
+            return it + 1;
+    }
+    return maxIters;
+}
+
+std::vector<double>
+initialGrid()
+{
+    std::vector<double> grid(cells, 0.0);
+    grid.front() = 1.0; // hot boundary
+    grid.back() = -1.0; // cold boundary
+    return grid;
+}
+
+struct Result
+{
+    int iterations = 0;
+    double simTime = 0;
+    std::uint64_t wanMessages = 0;
+    bool verified = false;
+};
+
+struct Shared
+{
+    apps::Machine &machine;
+    std::vector<std::vector<double>> blocks;
+    int iterations = 0;
+    double checksum = 0;
+    int finished = 0;
+};
+
+/** One rank of the distributed solver. */
+sim::Task<void>
+solverRank(Shared &shared, Rank self)
+{
+    apps::Machine &m = shared.machine;
+    auto &panda = m.panda();
+    const int p = m.size();
+    std::vector<double> &block = shared.blocks[self];
+    const int nb = static_cast<int>(block.size());
+    apps::Cpu cpu(costPerCellUpdate);
+
+    co_await m.comm().barrier(self);
+    if (self == 0)
+        m.startMeasurement();
+
+    std::vector<double> next(nb);
+    for (int it = 0; it < maxIters; ++it) {
+        // Halo exchange with the ring neighbours (fire both sends,
+        // then await both receives — latency is paid once).
+        if (self > 0)
+            panda.send(self, self - 1, haloTag, 8, block.front());
+        if (self < p - 1)
+            panda.send(self, self + 1, haloTag, 8, block.back());
+        double left = 0, right = 0;
+        bool have_left = self > 0, have_right = self < p - 1;
+        for (int expected = have_left + have_right; expected > 0;
+             --expected) {
+            panda::Message msg = co_await panda.recv(self, haloTag);
+            if (msg.src == self - 1)
+                left = msg.as<double>();
+            else
+                right = msg.as<double>();
+        }
+
+        // The real computation, charged to the simulated clock.
+        double residual = 0;
+        for (int i = 0; i < nb; ++i) {
+            bool global_edge = (self == 0 && i == 0) ||
+                               (self == p - 1 && i == nb - 1);
+            if (global_edge) {
+                next[i] = block[i];
+                continue;
+            }
+            double l = i > 0 ? block[i - 1] : left;
+            double r = i < nb - 1 ? block[i + 1] : right;
+            next[i] = 0.5 * (l + r);
+            residual = std::max(residual,
+                                std::fabs(next[i] - block[i]));
+        }
+        block.swap(next);
+        co_await m.compute(self, cpu, nb);
+
+        // Global convergence test: one allreduce per iteration.
+        Vec local{residual};
+        Vec global = co_await m.comm().allreduce(
+            self, std::move(local), magpie::ReduceOp::max());
+        if (self == 0)
+            shared.iterations = it + 1;
+        if (global[0] < tolerance)
+            break;
+    }
+
+    co_await m.comm().barrier(self);
+    double local_sum = 0;
+    for (double v : block)
+        local_sum += v;
+    Vec sum{local_sum};
+    Vec total = co_await m.comm().reduce(self, 0, std::move(sum),
+                                         magpie::ReduceOp::sum());
+    if (self == 0)
+        shared.checksum = total[0];
+    ++shared.finished;
+}
+
+} // namespace
+
+Result
+solve(magpie::Algorithm algorithm, int ref_iters, double ref_sum)
+{
+    core::Scenario scenario;
+    scenario.clusters = 4;
+    scenario.procsPerCluster = 8;
+    scenario.wanBandwidthMBs = 1.0;
+    scenario.wanLatencyMs = 10.0;
+
+    apps::Machine machine(scenario, algorithm);
+    Shared shared{machine, {}, 0, 0, 0};
+    std::vector<double> grid = initialGrid();
+    const int p = machine.size();
+    for (Rank r = 0; r < p; ++r) {
+        shared.blocks.emplace_back(
+            grid.begin() + apps::blockLo(r, cells, p),
+            grid.begin() + apps::blockHi(r, cells, p));
+    }
+
+    for (Rank r = 0; r < p; ++r)
+        machine.sim().spawn(solverRank(shared, r));
+    machine.sim().run();
+
+    Result result;
+    result.iterations = shared.iterations;
+    result.simTime = machine.measuredTime();
+    result.wanMessages = machine.fabric().stats().inter.messages;
+    result.verified = shared.finished == p &&
+                      shared.iterations == ref_iters &&
+                      apps::closeEnough(shared.checksum, ref_sum, 1e-9);
+    return result;
+}
+
+int
+main()
+{
+    // Sequential reference.
+    std::vector<double> reference = initialGrid();
+    int ref_iters = jacobiSequential(reference);
+    double ref_sum = 0;
+    for (double v : reference)
+        ref_sum += v;
+
+    std::printf("1-D Jacobi on 4x8, wan=1MB/s,10ms — the per-iteration "
+                "allreduce is where\nthe wide-area latency bites, so "
+                "the collective algorithm family matters:\n\n");
+    bool all_ok = true;
+    for (auto alg : {magpie::Algorithm::flat,
+                     magpie::Algorithm::magpie}) {
+        Result r = solve(alg, ref_iters, ref_sum);
+        all_ok = all_ok && r.verified;
+        std::printf("%-22s %d iterations, %7.3f s simulated, %lu WAN "
+                    "messages, verified: %s\n",
+                    magpie::algorithmName(alg), r.iterations,
+                    r.simTime,
+                    static_cast<unsigned long>(r.wanMessages),
+                    r.verified ? "yes" : "NO");
+    }
+    std::printf("\nonly the two block-boundary halos cross clusters; "
+                "everything else is the\nconvergence allreduce — the "
+                "cluster-aware collectives cut both its latency\n"
+                "(one WAN hop) and its WAN message count.\n");
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The Orca shared-object model the paper's applications are written
+ * in: a replicated job counter and a shared best-bound object, used
+ * from every rank with local reads and totally ordered writes. Shows
+ * why write-heavy shared objects inherit the full NUMA gap (every
+ * write is an ordered broadcast) while read-heavy ones do not — the
+ * root of the ASP sequencer story.
+ */
+
+#include <cstdio>
+
+#include "net/config.h"
+#include "orca/object_runtime.h"
+#include "sim/simulation.h"
+
+using namespace tli;
+
+namespace {
+
+struct Stats
+{
+    int bestBound = 0;
+    double elapsed = 0;
+};
+
+Stats
+runStudy(double wan_latency_ms, int writes_per_rank)
+{
+    sim::Simulation sim;
+    net::Topology topo(4, 8);
+    net::Fabric fabric(sim, topo,
+                       net::dasParams(6.0, wan_latency_ms));
+    panda::Panda panda(sim, fabric);
+    orca::ObjectRuntime runtime(panda, 8000);
+
+    orca::ObjectId bound = runtime.create<int>(1 << 20);
+    for (Rank r = 0; r < topo.totalRanks(); ++r)
+        runtime.startServers(r);
+
+    int done = 0;
+    Stats stats;
+    auto proc = [&](Rank self) -> sim::Task<void> {
+        for (int i = 0; i < writes_per_rank; ++i) {
+            // Read locally (free), write only when improving — the
+            // Orca branch-and-bound idiom.
+            int candidate = 1000 - 10 * self - i;
+            int current = runtime.read<int>(
+                self, bound, [](const int &v) { return v; });
+            if (candidate < current) {
+                co_await runtime.write<int>(
+                    self, bound,
+                    [candidate](int &v) {
+                        if (candidate < v)
+                            v = candidate;
+                    },
+                    8);
+            }
+        }
+        if (++done == topo.totalRanks()) {
+            stats.bestBound = runtime.read<int>(
+                self, bound, [](const int &v) { return v; });
+            stats.elapsed = sim.now();
+            runtime.shutdown(self);
+        }
+    };
+    for (Rank r = 0; r < topo.totalRanks(); ++r)
+        sim.spawn(proc(r));
+    sim.run();
+    return stats;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Orca shared objects on 4x8 (replicated state, "
+                "totally ordered writes)\n\n");
+    std::printf("%-22s %-12s %-12s\n", "wide-area latency",
+                "best bound", "elapsed");
+    for (double lat : {0.5, 10.0, 100.0}) {
+        Stats s = runStudy(lat, 8);
+        std::printf("%-22s %-12d %8.3f s\n",
+                    (std::to_string(lat) + " ms").c_str(), s.bestBound,
+                    s.elapsed);
+    }
+    std::printf("\nreads never touch the network (replicas are "
+                "local); every write costs a\nsequencer round trip "
+                "plus an ordered broadcast, so write-heavy objects\n"
+                "inherit the full wide-area latency — exactly the "
+                "effect the ASP\napplication's sequencer migration "
+                "optimizes (paper section 3.2).\n");
+    return 0;
+}

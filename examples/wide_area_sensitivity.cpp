@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Scenario study: "we have compute clusters in two cities — which of
+ * our applications can span them?"
+ *
+ * Sweeps every application over realistic wide-area link qualities
+ * (campus fiber, metro, national, intercontinental) and prints the
+ * fraction of single-site performance each one retains — the
+ * practical question behind the paper's Figure 3.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "apps/registry.h"
+#include "core/gap_study.h"
+#include "core/metrics.h"
+
+using namespace tli;
+
+int
+main()
+{
+    struct LinkClass
+    {
+        const char *name;
+        double bandwidthMBs;
+        double latencyMs;
+    };
+    const LinkClass links[] = {
+        {"campus (6 MB/s, 0.5 ms)", 6.0, 0.5},
+        {"metro (2.5 MB/s, 3 ms)", 2.5, 3.0},
+        {"national (1 MB/s, 10 ms)", 1.0, 10.0},
+        {"continental (0.5 MB/s, 30 ms)", 0.5, 30.0},
+        {"intercontinental (0.3 MB/s, 100 ms)", 0.3, 100.0},
+    };
+
+    core::Scenario base;
+    base.clusters = 2;
+    base.procsPerCluster = 16;
+
+    std::printf("two sites, 16 processors each; retained fraction of "
+                "single-site speedup:\n\n");
+    core::TextTable table({"application", "campus", "metro",
+                           "national", "continental", "intercont."});
+    for (auto &v : apps::bestVariants()) {
+        core::GapStudy study(v, base);
+        double t_single = study.baseline().runTime;
+        std::vector<std::string> row{v.fullName()};
+        for (const LinkClass &link : links) {
+            core::RunResult r =
+                study.at(link.bandwidthMBs, link.latencyMs);
+            row.push_back(core::TextTable::num(
+                              100.0 * t_single / r.runTime, 0) +
+                          "%");
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+
+    std::printf("\nreading: >60%% means the second site pays off "
+                "(the paper's criterion);\n<25%% means one 16-node "
+                "site alone would be faster.\n");
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Octree machinery for the Barnes-Hut application: body/element
+ * types, Morton-order partitioning, octree construction, per-body
+ * tree walks, and sender-side locally-essential-tree (LET) extraction
+ * in the style of Blackston & Suel.
+ */
+
+#ifndef TWOLAYER_APPS_BARNES_TREE_H_
+#define TWOLAYER_APPS_BARNES_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tli::apps::barnes {
+
+struct Vec3
+{
+    double x = 0, y = 0, z = 0;
+
+    Vec3 &
+    operator+=(const Vec3 &o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+};
+
+struct Body
+{
+    Vec3 pos;
+    Vec3 vel;
+    double mass = 0;
+};
+
+/** A point-mass force source: a body or a cell's center of mass. */
+struct Element
+{
+    Vec3 pos;
+    double mass = 0;
+};
+
+/** Axis-aligned bounding box. */
+struct Box
+{
+    Vec3 lo;
+    Vec3 hi;
+
+    /** Smallest distance from @p p to this box (0 if inside). */
+    double distanceTo(const Vec3 &p) const;
+
+    /** Grow to include @p p. */
+    void include(const Vec3 &p);
+
+    static Box empty();
+};
+
+/** Gravitational acceleration on @p at from a point mass. */
+Vec3 accelerationFrom(const Vec3 &at, const Element &src,
+                      double softening);
+
+/**
+ * A Barnes-Hut octree over a set of bodies inside the unit cube.
+ * Built once per iteration per owner; supports the receiver-side
+ * per-body walk and the sender-side per-box LET extraction.
+ */
+class Octree
+{
+  public:
+    /** Build over @p bodies (positions must lie in [0,1)^3). */
+    explicit Octree(const std::vector<Body> &bodies);
+
+    /**
+     * Barnes-Hut acceleration on @p at using the theta opening
+     * criterion; a body exactly at @p at is skipped. Increments
+     * @p interactions per force evaluation performed.
+     */
+    Vec3 accelerationOn(const Vec3 &at, double theta, double softening,
+                        std::uint64_t *interactions) const;
+
+    /**
+     * Sender-side LET extraction: the elements of this tree that a
+     * processor owning bodies inside @p target needs. Cells whose
+     * size-to-distance ratio w.r.t. the target box is below theta are
+     * summarized by their center of mass; everything closer is opened
+     * down to single bodies.
+     */
+    std::vector<Element> essentialFor(const Box &target,
+                                      double theta) const;
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+  private:
+    struct Node
+    {
+        Vec3 center;      // cell center
+        double half = 0;  // half edge length
+        Vec3 com;         // center of mass
+        double mass = 0;
+        int body = -1;    // body index for leaves with one body
+        int children[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+        bool leaf = true;
+    };
+
+    int makeNode(const Vec3 &center, double half);
+    void insert(int node, int body_idx);
+    void summarize(int node);
+
+    const std::vector<Body> *bodies_;
+    std::vector<Node> nodes_;
+};
+
+/** 3D Morton code of a position in the unit cube (10 bits/axis). */
+std::uint32_t mortonCode(const Vec3 &p);
+
+/** Body indices sorted by Morton code (spatially coherent blocks). */
+std::vector<int> mortonOrder(const std::vector<Body> &bodies);
+
+/** Deterministic random body set in the unit cube. */
+std::vector<Body> makeBodies(int n, std::uint64_t seed);
+
+/** Bounding box of a body set. */
+Box boundsOf(const std::vector<Body> &bodies);
+
+} // namespace tli::apps::barnes
+
+#endif // TWOLAYER_APPS_BARNES_TREE_H_

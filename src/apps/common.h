@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Shared runtime scaffolding for the six benchmark applications: the
+ * assembled machine (simulation + fabric + messaging + collectives), a
+ * calibrated CPU cost model, and the measurement protocol (startup
+ * excluded, as in the paper).
+ */
+
+#ifndef TWOLAYER_APPS_COMMON_H_
+#define TWOLAYER_APPS_COMMON_H_
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/scenario.h"
+#include "magpie/communicator.h"
+#include "net/fabric.h"
+#include "panda/panda.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace tli::apps {
+
+/**
+ * CPU cost model: applications perform their real computation in
+ * native code and charge the simulation clock per unit of algorithmic
+ * work, with per-application constants calibrated so the
+ * communication/computation ratios reproduce the paper's
+ * single-cluster behaviour (Table 1).
+ */
+class Cpu
+{
+  public:
+    /** @param seconds_per_unit simulated cost of one work unit. */
+    explicit Cpu(double seconds_per_unit)
+        : secondsPerUnit_(seconds_per_unit)
+    {
+    }
+
+    /** Awaitable charging @p units of work to the caller's clock. */
+    auto
+    compute(sim::Simulation &sim, double units) const
+    {
+        return sim.sleep(units * secondsPerUnit_);
+    }
+
+    double secondsPerUnit() const { return secondsPerUnit_; }
+
+  private:
+    double secondsPerUnit_;
+};
+
+/**
+ * The assembled machine an application run executes on. One instance
+ * per run; applications spawn one process per rank.
+ */
+class Machine
+{
+  public:
+    /**
+     * @param scenario  machine shape and network parameters
+     * @param algorithm collective algorithm family for comm(); the
+     *                  paper's applications use flat collectives (the
+     *                  optimizations live in the applications); pass
+     *                  magpie::Algorithm::magpie to route collectives
+     *                  through the cluster-aware library instead
+     */
+    explicit Machine(const core::Scenario &scenario,
+                     magpie::Algorithm algorithm =
+                         magpie::Algorithm::flat)
+        : scenario_(scenario),
+          topo_(scenario.clusters, scenario.procsPerCluster),
+          fabric_(sim_, topo_, scenario.fabricParams()),
+          panda_(sim_, fabric_),
+          comm_(panda_, algorithm),
+          computeSeconds_(topo_.totalRanks(), 0.0)
+    {
+    }
+
+    const core::Scenario &scenario() const { return scenario_; }
+    sim::Simulation &sim() { return sim_; }
+    const net::Topology &topo() const { return topo_; }
+    net::Fabric &fabric() { return fabric_; }
+    panda::Panda &panda() { return panda_; }
+    magpie::Communicator &comm() { return comm_; }
+
+    int size() const { return topo_.totalRanks(); }
+
+    /**
+     * Mark the end of the startup phase: the caller must arrange that
+     * all ranks are synchronized (e.g. via a barrier) before one rank
+     * calls this. Resets traffic statistics and the measurement clock.
+     */
+    void
+    startMeasurement()
+    {
+        fabric_.resetStats();
+        measureStart_ = sim_.now();
+    }
+
+    /** Time elapsed since startMeasurement(). */
+    double
+    measuredTime() const
+    {
+        return sim_.now() - measureStart_;
+    }
+
+    /** Assemble a RunResult from the measured phase. */
+    core::RunResult
+    finishMeasurement(double checksum, bool verified) const
+    {
+        core::RunResult r;
+        r.runTime = measuredTime();
+        r.traffic = fabric_.stats();
+        r.checksum = checksum;
+        r.verified = verified;
+        r.computePerRank = computeSeconds_;
+        return r;
+    }
+
+    /**
+     * Charge @p units of work on @p self's clock through @p cpu and
+     * account it toward the per-rank compute profile (the basis of
+     * the load-balance analysis).
+     */
+    auto
+    compute(Rank self, const Cpu &cpu, double units)
+    {
+        computeSeconds_[self] += units * cpu.secondsPerUnit();
+        return cpu.compute(sim_, units);
+    }
+
+  private:
+    core::Scenario scenario_;
+    sim::Simulation sim_;
+    net::Topology topo_;
+    net::Fabric fabric_;
+    panda::Panda panda_;
+    magpie::Communicator comm_;
+    double measureStart_ = 0;
+    std::vector<double> computeSeconds_;
+};
+
+
+/** Verification tolerance for floating-point checksums. */
+inline bool
+closeEnough(double got, double want, double rel_tol = 1e-9)
+{
+    double denom = std::fabs(want) > 1.0 ? std::fabs(want) : 1.0;
+    return std::fabs(got - want) <= rel_tol * denom;
+}
+
+} // namespace tli::apps
+
+#endif // TWOLAYER_APPS_COMMON_H_

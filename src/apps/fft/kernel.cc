@@ -1,0 +1,84 @@
+#include "apps/fft/kernel.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "sim/logging.h"
+#include "sim/random.h"
+
+namespace tli::apps::fft {
+
+bool
+isPowerOfTwo(int n)
+{
+    return n > 0 && (n & (n - 1)) == 0;
+}
+
+int
+log2OfPow2(int n)
+{
+    TLI_ASSERT(isPowerOfTwo(n), "not a power of two: ", n);
+    int l = 0;
+    while ((1 << l) < n)
+        ++l;
+    return l;
+}
+
+void
+fftInPlace(Signal &a)
+{
+    const int n = static_cast<int>(a.size());
+    TLI_ASSERT(isPowerOfTwo(n), "FFT size must be a power of two");
+
+    // Bit-reversal permutation.
+    for (int i = 1, j = 0; i < n; ++i) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(a[i], a[j]);
+    }
+    // Butterflies.
+    for (int len = 2; len <= n; len <<= 1) {
+        const double angle = -2.0 * std::numbers::pi / len;
+        const Complex wl(std::cos(angle), std::sin(angle));
+        for (int i = 0; i < n; i += len) {
+            Complex w(1.0);
+            for (int k = 0; k < len / 2; ++k) {
+                Complex u = a[i + k];
+                Complex v = a[i + k + len / 2] * w;
+                a[i + k] = u + v;
+                a[i + k + len / 2] = u - v;
+                w *= wl;
+            }
+        }
+    }
+}
+
+Signal
+makeInput(int n, std::uint64_t seed)
+{
+    sim::Random rng(seed);
+    Signal a(n);
+    for (int i = 0; i < n; ++i)
+        a[i] = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    return a;
+}
+
+double
+checksum(const Signal &a)
+{
+    double sum = 0;
+    for (const Complex &c : a)
+        sum += std::abs(c);
+    return sum;
+}
+
+double
+butterflies(int n)
+{
+    return 0.5 * n * log2OfPow2(n);
+}
+
+} // namespace tli::apps::fft

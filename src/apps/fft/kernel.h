@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Sequential FFT kernel: iterative radix-2 complex transform, input
+ * generation, and verification digests. Used both as the reference
+ * implementation and inside the parallel six-step code.
+ */
+
+#ifndef TWOLAYER_APPS_FFT_KERNEL_H_
+#define TWOLAYER_APPS_FFT_KERNEL_H_
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace tli::apps::fft {
+
+using Complex = std::complex<double>;
+using Signal = std::vector<Complex>;
+
+/** True if @p n is a power of two. */
+bool isPowerOfTwo(int n);
+
+/** log2 of a power of two. */
+int log2OfPow2(int n);
+
+/**
+ * In-place iterative radix-2 decimation-in-time FFT. @p a must have a
+ * power-of-two size. Forward transform (negative exponent).
+ */
+void fftInPlace(Signal &a);
+
+/** Deterministic pseudo-random complex input. */
+Signal makeInput(int n, std::uint64_t seed);
+
+/** Verification digest: sum of magnitudes. */
+double checksum(const Signal &a);
+
+/** Number of butterfly operations in one FFT of size n. */
+double butterflies(int n);
+
+} // namespace tli::apps::fft
+
+#endif // TWOLAYER_APPS_FFT_KERNEL_H_

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Balanced block partitioning of an index range over p ranks, shared
+ * by the applications (row distributions, body distributions).
+ */
+
+#ifndef TWOLAYER_APPS_PARTITION_H_
+#define TWOLAYER_APPS_PARTITION_H_
+
+#include <algorithm>
+
+#include "sim/types.h"
+
+namespace tli::apps {
+
+/** First index of rank @p r's block of @p n items over @p p ranks. */
+inline int
+blockLo(Rank r, int n, int p)
+{
+    return static_cast<int>(static_cast<long long>(r) * n / p);
+}
+
+/** One past the last index of rank @p r's block. */
+inline int
+blockHi(Rank r, int n, int p)
+{
+    return static_cast<int>(static_cast<long long>(r + 1) * n / p);
+}
+
+/** Number of items in rank @p r's block. */
+inline int
+blockSize(Rank r, int n, int p)
+{
+    return blockHi(r, n, p) - blockLo(r, n, p);
+}
+
+/** The rank whose block contains @p index. */
+inline int
+blockOwner(int index, int n, int p)
+{
+    int o = std::min(
+        p - 1,
+        static_cast<int>(static_cast<long long>(index) * p / n));
+    while (o > 0 && blockLo(o, n, p) > index)
+        --o;
+    while (o < p - 1 && index >= blockHi(o, n, p))
+        ++o;
+    return o;
+}
+
+} // namespace tli::apps
+
+#endif // TWOLAYER_APPS_PARTITION_H_

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The application registry: every benchmark variant by name, for the
+ * benchmark harnesses and examples.
+ */
+
+#ifndef TWOLAYER_APPS_REGISTRY_H_
+#define TWOLAYER_APPS_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/app.h"
+
+namespace tli::apps {
+
+/** All application variants (six apps; FFT has no optimized one). */
+std::vector<core::AppVariant> allVariants();
+
+/** The unoptimized variant of every application. */
+std::vector<core::AppVariant> unoptimizedVariants();
+
+/** The best variant of every application (optimized where present). */
+std::vector<core::AppVariant> bestVariants();
+
+/** Look up one variant; fatal if absent. */
+core::AppVariant findVariant(const std::string &app,
+                             const std::string &variant);
+
+} // namespace tli::apps
+
+#endif // TWOLAYER_APPS_REGISTRY_H_

@@ -1,0 +1,93 @@
+#include "apps/water/model.h"
+
+#include <cmath>
+
+#include "sim/random.h"
+
+namespace tli::apps::water {
+
+System
+makeSystem(int n, std::uint64_t seed)
+{
+    System s;
+    // Fixed density 0.6 molecules per unit volume.
+    s.boxSize = std::cbrt(n / 0.6);
+    sim::Random rng(seed);
+    s.pos.resize(n);
+    s.vel.resize(n);
+    for (int i = 0; i < n; ++i) {
+        s.pos[i] = {rng.uniform(0, s.boxSize), rng.uniform(0, s.boxSize),
+                    rng.uniform(0, s.boxSize)};
+        s.vel[i] = {0, 0, 0};
+    }
+    return s;
+}
+
+Vec3
+pairForce(const Vec3 &a, const Vec3 &b, double box)
+{
+    auto wrap = [box](double d) {
+        if (d > 0.5 * box)
+            return d - box;
+        if (d < -0.5 * box)
+            return d + box;
+        return d;
+    };
+    double dx = wrap(a.x - b.x);
+    double dy = wrap(a.y - b.y);
+    double dz = wrap(a.z - b.z);
+    double r2 = dx * dx + dy * dy + dz * dz;
+    // Soften very close approaches so the random initial state cannot
+    // produce unbounded forces.
+    if (r2 < 0.25)
+        r2 = 0.25;
+    double inv2 = 1.0 / r2;
+    double inv6 = inv2 * inv2 * inv2;
+    // d(LJ)/dr / r, with sigma = epsilon = 1.
+    double scale = 24.0 * inv6 * (2.0 * inv6 - 1.0) * inv2;
+    return {scale * dx, scale * dy, scale * dz};
+}
+
+void
+integrate(System &s, const std::vector<Vec3> &forces, double dt)
+{
+    const int n = static_cast<int>(s.pos.size());
+    for (int i = 0; i < n; ++i) {
+        s.vel[i].x += forces[i].x * dt;
+        s.vel[i].y += forces[i].y * dt;
+        s.vel[i].z += forces[i].z * dt;
+        s.pos[i].x += s.vel[i].x * dt;
+        s.pos[i].y += s.vel[i].y * dt;
+        s.pos[i].z += s.vel[i].z * dt;
+    }
+}
+
+void
+simulateSequential(System &s, int iters, double dt)
+{
+    const int n = static_cast<int>(s.pos.size());
+    std::vector<Vec3> forces(n);
+    for (int it = 0; it < iters; ++it) {
+        for (auto &f : forces)
+            f = {0, 0, 0};
+        for (int i = 0; i < n; ++i) {
+            for (int j = i + 1; j < n; ++j) {
+                Vec3 f = pairForce(s.pos[i], s.pos[j], s.boxSize);
+                forces[i] += f;
+                forces[j] -= f;
+            }
+        }
+        integrate(s, forces, dt);
+    }
+}
+
+double
+checksum(const System &s)
+{
+    double sum = 0;
+    for (const Vec3 &p : s.pos)
+        sum += p.x + p.y + p.z;
+    return sum;
+}
+
+} // namespace tli::apps::water

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The molecular-dynamics model behind the Water application: n point
+ * molecules in a periodic box with a Lennard-Jones pair potential,
+ * plus the sequential O(n^2) reference simulation.
+ */
+
+#ifndef TWOLAYER_APPS_WATER_MODEL_H_
+#define TWOLAYER_APPS_WATER_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tli::apps::water {
+
+struct Vec3
+{
+    double x = 0, y = 0, z = 0;
+
+    Vec3 &
+    operator+=(const Vec3 &o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+
+    Vec3 &
+    operator-=(const Vec3 &o)
+    {
+        x -= o.x;
+        y -= o.y;
+        z -= o.z;
+        return *this;
+    }
+};
+
+/** The simulated system: structure-of-arrays for cheap slicing. */
+struct System
+{
+    double boxSize = 0;
+    std::vector<Vec3> pos;
+    std::vector<Vec3> vel;
+};
+
+/** Deterministic initial configuration of @p n molecules. */
+System makeSystem(int n, std::uint64_t seed);
+
+/**
+ * Lennard-Jones force exerted on the molecule at @p a by the one at
+ * @p b, with minimum-image convention in a box of size @p box.
+ */
+Vec3 pairForce(const Vec3 &a, const Vec3 &b, double box);
+
+/** Advance @p s one explicit-Euler step under the given forces. */
+void integrate(System &s, const std::vector<Vec3> &forces, double dt);
+
+/** Run @p iters sequential O(n^2) iterations (reference kernel). */
+void simulateSequential(System &s, int iters, double dt);
+
+/** Verification digest: sum of all position components. */
+double checksum(const System &s);
+
+/** Integration time step used by both implementations. */
+constexpr double timeStep = 1e-5;
+
+} // namespace tli::apps::water
+
+#endif // TWOLAYER_APPS_WATER_MODEL_H_

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The interface every benchmark application implements: a named
+ * variant (unoptimized / optimized) that runs one Scenario to
+ * completion and reports a verified RunResult.
+ */
+
+#ifndef TWOLAYER_CORE_APP_H_
+#define TWOLAYER_CORE_APP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+
+namespace tli::core {
+
+/** A runnable application variant. */
+struct AppVariant
+{
+    /** Application name, e.g. "water". */
+    std::string app;
+    /** Variant name: "unopt" or "opt" (or an ablation label). */
+    std::string variant;
+    /** Execute one scenario; must verify against the sequential
+     *  reference and fill RunResult::verified. */
+    std::function<RunResult(const Scenario &)> run;
+
+    std::string
+    fullName() const
+    {
+        return app + "/" + variant;
+    }
+};
+
+} // namespace tli::core
+
+#endif // TWOLAYER_CORE_APP_H_

@@ -1,0 +1,85 @@
+#include "core/gap_study.h"
+
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace tli::core {
+
+GapStudy::GapStudy(AppVariant variant, Scenario base)
+    : variant_(std::move(variant)), base_(std::move(base))
+{
+}
+
+RunResult
+GapStudy::baseline() const
+{
+    RunResult r = variant_.run(base_.asAllMyrinet());
+    TLI_ASSERT(r.verified, variant_.fullName(),
+               " failed verification on the all-Myrinet baseline");
+    return r;
+}
+
+RunResult
+GapStudy::at(double bandwidth_mbs, double latency_ms) const
+{
+    Scenario s = base_;
+    s.allMyrinet = false;
+    s.wanBandwidthMBs = bandwidth_mbs;
+    s.wanLatencyMs = latency_ms;
+    RunResult r = variant_.run(s);
+    TLI_ASSERT(r.verified, variant_.fullName(),
+               " failed verification at bw=", bandwidth_mbs, " lat=",
+               latency_ms);
+    return r;
+}
+
+Surface
+GapStudy::speedupSurface(std::vector<double> bandwidths_mbs,
+                         std::vector<double> latencies_ms) const
+{
+    if (bandwidths_mbs.empty())
+        bandwidths_mbs = net::figureBandwidthsMBs();
+    if (latencies_ms.empty())
+        latencies_ms = net::figureLatenciesMs();
+
+    const double t_single = baseline().runTime;
+
+    Surface s;
+    s.title = variant_.fullName() + " speedup relative to all-Myrinet";
+    s.bandwidthsMBs = bandwidths_mbs;
+    s.latenciesMs = latencies_ms;
+    s.values.resize(latencies_ms.size());
+    for (std::size_t i = 0; i < latencies_ms.size(); ++i) {
+        s.values[i].resize(bandwidths_mbs.size());
+        for (std::size_t j = 0; j < bandwidths_mbs.size(); ++j) {
+            RunResult r = at(bandwidths_mbs[j], latencies_ms[i]);
+            s.values[i][j] = t_single / r.runTime;
+        }
+    }
+    return s;
+}
+
+Surface
+GapStudy::commTimeSurface(std::vector<double> bandwidths_mbs,
+                          std::vector<double> latencies_ms) const
+{
+    const double t_single = baseline().runTime;
+
+    Surface s;
+    s.title = variant_.fullName() + " inter-cluster communication time";
+    s.bandwidthsMBs = bandwidths_mbs;
+    s.latenciesMs = latencies_ms;
+    s.values.resize(latencies_ms.size());
+    for (std::size_t i = 0; i < latencies_ms.size(); ++i) {
+        s.values[i].resize(bandwidths_mbs.size());
+        for (std::size_t j = 0; j < bandwidths_mbs.size(); ++j) {
+            RunResult r = at(bandwidths_mbs[j], latencies_ms[i]);
+            double frac = (r.runTime - t_single) / r.runTime;
+            s.values[i][j] = frac < 0 ? 0 : frac;
+        }
+    }
+    return s;
+}
+
+} // namespace tli::core

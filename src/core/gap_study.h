@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The NUMA-gap sweep driver: runs an application variant across the
+ * (bandwidth, latency) grid and reports speedup relative to the
+ * all-Myrinet machine — exactly the measurement behind the paper's
+ * Figure 3 and Figure 4.
+ */
+
+#ifndef TWOLAYER_CORE_GAP_STUDY_H_
+#define TWOLAYER_CORE_GAP_STUDY_H_
+
+#include <vector>
+
+#include "core/app.h"
+#include "core/metrics.h"
+#include "core/scenario.h"
+
+namespace tli::core {
+
+/**
+ * Sweeps one application variant over wide-area parameter grids.
+ * Relative speedup is computed as T_singlecluster / T_multicluster
+ * where the single-cluster time uses the same machine with every link
+ * at Myrinet speed (the upper bound the paper normalizes against).
+ */
+class GapStudy
+{
+  public:
+    GapStudy(AppVariant variant, Scenario base);
+
+    /** Run the all-Myrinet upper bound configuration. */
+    RunResult baseline() const;
+
+    /** Run one multi-cluster point. */
+    RunResult at(double bandwidth_mbs, double latency_ms) const;
+
+    /**
+     * Relative speedup surface over the given grids (defaults: the
+     * paper's Figure 3 grids). Values in [0, 1+], fraction of the
+     * all-Myrinet speedup.
+     */
+    Surface speedupSurface(std::vector<double> bandwidths_mbs = {},
+                           std::vector<double> latencies_ms = {}) const;
+
+    /**
+     * Fraction of the multi-cluster run time attributable to
+     * inter-cluster communication, computed the paper's way
+     * (Fig. 4): (T_multi - T_single) / T_multi, clamped at 0.
+     */
+    Surface commTimeSurface(std::vector<double> bandwidths_mbs,
+                            std::vector<double> latencies_ms) const;
+
+    const AppVariant &variant() const { return variant_; }
+    const Scenario &base() const { return base_; }
+
+  private:
+    AppVariant variant_;
+    Scenario base_;
+};
+
+} // namespace tli::core
+
+#endif // TWOLAYER_CORE_GAP_STUDY_H_

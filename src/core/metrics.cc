@@ -1,0 +1,107 @@
+#include "core/metrics.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace tli::core {
+
+namespace {
+
+void
+printGrid(std::ostream &os, const Surface &s,
+          const std::string &unit, int precision, bool percent)
+{
+    os << "== " << s.title << " ==\n";
+    os << std::setw(10) << "lat\\bw";
+    for (double bw : s.bandwidthsMBs)
+        os << std::setw(10) << bw;
+    os << "  (MByte/s)\n";
+    for (std::size_t i = 0; i < s.latenciesMs.size(); ++i) {
+        std::ostringstream lat;
+        lat << s.latenciesMs[i] << "ms";
+        os << std::setw(10) << lat.str();
+        for (std::size_t j = 0; j < s.bandwidthsMBs.size(); ++j) {
+            std::ostringstream cell;
+            cell << std::fixed << std::setprecision(precision)
+                 << (percent ? s.values[i][j] * 100.0 : s.values[i][j])
+                 << (percent ? "%" : unit);
+            os << std::setw(10) << cell.str();
+        }
+        os << "\n";
+    }
+}
+
+} // namespace
+
+void
+Surface::printPercent(std::ostream &os) const
+{
+    printGrid(os, *this, "%", 1, true);
+}
+
+void
+Surface::print(std::ostream &os, const std::string &unit,
+               int precision) const
+{
+    printGrid(os, *this, unit, precision, false);
+}
+
+void
+Surface::writeCsv(std::ostream &os) const
+{
+    os << "latency_ms,bandwidth_mbs,value\n";
+    for (std::size_t i = 0; i < latenciesMs.size(); ++i) {
+        for (std::size_t j = 0; j < bandwidthsMBs.size(); ++j) {
+            os << latenciesMs[i] << "," << bandwidthsMBs[j] << ","
+               << values[i][j] << "\n";
+        }
+    }
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    TLI_ASSERT(cells.size() == headers_.size(),
+               "row width mismatch: ", cells.size(), " vs ",
+               headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << std::setw(static_cast<int>(width[c]) + 2)
+               << cells[c];
+        os << "\n";
+    };
+    line(headers_);
+    for (const auto &row : rows_)
+        line(row);
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+} // namespace tli::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Result containers and fixed-width text rendering for the study
+ * harness: speedup surfaces over the (latency, bandwidth) grid and
+ * generic report tables.
+ */
+
+#ifndef TWOLAYER_CORE_METRICS_H_
+#define TWOLAYER_CORE_METRICS_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tli::core {
+
+/**
+ * A surface of values indexed by (one-way latency in ms, bandwidth in
+ * MByte/s) — the shape of each panel of the paper's Figure 3 and of
+ * both graphs of Figure 4.
+ */
+struct Surface
+{
+    std::string title;
+    std::vector<double> latenciesMs;   // rows
+    std::vector<double> bandwidthsMBs; // columns
+    /** values[lat][bw]. */
+    std::vector<std::vector<double>> values;
+
+    double
+    at(std::size_t lat, std::size_t bw) const
+    {
+        return values[lat][bw];
+    }
+
+    /** Render as a fixed-width table, values formatted as percents. */
+    void printPercent(std::ostream &os) const;
+
+    /** Render with a generic unit suffix. */
+    void print(std::ostream &os, const std::string &unit,
+               int precision = 2) const;
+
+    /**
+     * Machine-readable form: one "latency_ms,bandwidth_mbs,value"
+     * line per grid point, with a header row.
+     */
+    void writeCsv(std::ostream &os) const;
+};
+
+/** A simple left-aligned text table for bench reports. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print(std::ostream &os) const;
+
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tli::core
+
+#endif // TWOLAYER_CORE_METRICS_H_

@@ -1,0 +1,59 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tli::core {
+
+std::string
+Scenario::describe() const
+{
+    std::ostringstream os;
+    os << clusters << "x" << procsPerCluster;
+    if (allMyrinet) {
+        os << " all-Myrinet";
+    } else {
+        os << " wan=" << wanBandwidthMBs << "MB/s," << wanLatencyMs
+           << "ms";
+    }
+    if (problemScale != 1.0)
+        os << " scale=" << problemScale;
+    return os.str();
+}
+
+double
+RunResult::interVolumePerClusterMBs(int cluster) const
+{
+    if (runTime <= 0 ||
+        cluster >= static_cast<int>(traffic.interPerCluster.size()))
+        return 0;
+    return traffic.interPerCluster[cluster].bytes / runTime / 1e6;
+}
+
+double
+RunResult::interMsgsPerClusterPerSec(int cluster) const
+{
+    if (runTime <= 0 ||
+        cluster >= static_cast<int>(traffic.interPerCluster.size()))
+        return 0;
+    return traffic.interPerCluster[cluster].messages / runTime;
+}
+
+double
+RunResult::loadImbalance() const
+{
+    if (computePerRank.empty())
+        return 0;
+    double total = 0;
+    double busiest = 0;
+    for (double c : computePerRank) {
+        total += c;
+        busiest = std::max(busiest, c);
+    }
+    if (total <= 0)
+        return 0;
+    double mean = total / computePerRank.size();
+    return busiest / mean;
+}
+
+} // namespace tli::core

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Experiment configuration (Scenario) and measurement record
+ * (RunResult) shared by every application and benchmark harness.
+ */
+
+#ifndef TWOLAYER_CORE_SCENARIO_H_
+#define TWOLAYER_CORE_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/config.h"
+#include "net/fabric.h"
+
+namespace tli::core {
+
+/**
+ * One experimental configuration: the machine shape, the wide-area
+ * link speed under study, and workload scaling. Matches the knobs the
+ * paper turns: cluster structure (\S5.1), inter-cluster bandwidth and
+ * latency (Fig. 3), and the all-Myrinet upper-bound configuration.
+ */
+struct Scenario
+{
+    int clusters = 4;
+    int procsPerCluster = 8;
+
+    /** Wide-area application-level bandwidth, MByte/s. */
+    double wanBandwidthMBs = 6.0;
+    /** Wide-area one-way latency, milliseconds. */
+    double wanLatencyMs = 0.5;
+    /**
+     * Use Myrinet parameters on the wide links too: the single-cluster
+     * upper bound the paper normalizes against.
+     */
+    bool allMyrinet = false;
+
+    /**
+     * Wide-area latency variability fraction in [0, 1] (the paper's
+     * future-work question; 0 = the fixed delay loops of the paper's
+     * testbed).
+     */
+    double wanJitterFraction = 0.0;
+
+    /**
+     * Shape of the wide-area network (§5.1: star and ring are the
+     * "worst case" against the DAS's fully connected "best case").
+     */
+    net::WanTopology wanShape = net::WanTopology::fullyConnected;
+
+    /** Workload scale factor relative to each app's default input. */
+    double problemScale = 1.0;
+    std::uint64_t seed = 42;
+
+    int totalRanks() const { return clusters * procsPerCluster; }
+
+    net::FabricParams
+    fabricParams() const
+    {
+        if (allMyrinet)
+            return net::allMyrinetParams();
+        net::FabricParams p =
+            net::dasParams(wanBandwidthMBs, wanLatencyMs);
+        p.wanJitter = wanJitterFraction;
+        p.jitterSeed = seed ^ 0x9E3779B97F4A7C15ULL;
+        p.wanTopology = wanShape;
+        return p;
+    }
+
+    /** The same machine with every link at Myrinet speed. */
+    Scenario
+    asAllMyrinet() const
+    {
+        Scenario s = *this;
+        s.allMyrinet = true;
+        return s;
+    }
+
+    /** One processor, no communication: the sequential baseline. */
+    Scenario
+    asSequential() const
+    {
+        Scenario s = *this;
+        s.clusters = 1;
+        s.procsPerCluster = 1;
+        s.allMyrinet = true;
+        return s;
+    }
+
+    std::string describe() const;
+};
+
+/**
+ * The outcome of one application run: simulated run time, traffic
+ * split by layer, and a correctness digest checked against the
+ * sequential reference implementation.
+ */
+struct RunResult
+{
+    /** Simulated wall time of the measured phase, seconds. */
+    double runTime = 0;
+    /** Fabric traffic during the measured phase. */
+    net::TrafficStats traffic;
+    /** Application-defined correctness digest. */
+    double checksum = 0;
+    /** Digest matched the sequential reference. */
+    bool verified = false;
+    /** Charged compute seconds per rank during the measured phase. */
+    std::vector<double> computePerRank;
+
+    /** Total inter-cluster volume rate, MByte/s. */
+    double
+    interVolumeMBs() const
+    {
+        if (runTime <= 0)
+            return 0;
+        return traffic.inter.bytes / runTime / 1e6;
+    }
+
+    /** Inter-cluster messages per second (whole machine). */
+    double
+    interMsgsPerSec() const
+    {
+        if (runTime <= 0)
+            return 0;
+        return traffic.inter.messages / runTime;
+    }
+
+    /** Per-cluster outbound inter-cluster MByte/s (Fig. 1 metric). */
+    double interVolumePerClusterMBs(int cluster) const;
+
+    /** Per-cluster outbound messages/s (Fig. 1 metric). */
+    double interMsgsPerClusterPerSec(int cluster) const;
+
+    /**
+     * Load imbalance factor: the busiest rank's compute time over the
+     * mean (1.0 = perfectly balanced). Zero if no compute recorded.
+     */
+    double loadImbalance() const;
+};
+
+} // namespace tli::core
+
+#endif // TWOLAYER_CORE_SCENARIO_H_

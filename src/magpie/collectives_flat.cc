@@ -1,0 +1,180 @@
+#include "magpie/collectives_flat.h"
+
+#include <utility>
+
+namespace tli::magpie {
+
+namespace {
+
+std::vector<Rank>
+allRanks(int p)
+{
+    std::vector<Rank> v(p);
+    for (int i = 0; i < p; ++i)
+        v[i] = i;
+    return v;
+}
+
+} // namespace
+
+sim::Task<void>
+FlatCollectives::barrier(Rank self, int seq)
+{
+    // Dissemination barrier: ceil(log2 p) rounds; in round k, rank r
+    // signals (r + 2^k) mod p and waits for (r - 2^k) mod p.
+    const int p = size();
+    int round = 0;
+    for (int dist = 1; dist < p; dist <<= 1, ++round) {
+        const int tag = tagFor(seq, round);
+        sendAny(self, (self + dist) % p, tag, Vec{});
+        (void)co_await recvAny<Vec>(self, tag);
+    }
+}
+
+sim::Task<Vec>
+FlatCollectives::bcast(Rank self, int seq, Rank root, Vec data)
+{
+    co_return co_await bcastOver(self, tagFor(seq, 0), allRanks(size()),
+                                 root, std::move(data));
+}
+
+sim::Task<Vec>
+FlatCollectives::reduce(Rank self, int seq, Rank root, Vec contrib,
+                        ReduceOp op)
+{
+    co_return co_await reduceOver(self, tagFor(seq, 0), allRanks(size()),
+                                  root, std::move(contrib), op);
+}
+
+sim::Task<Vec>
+FlatCollectives::allreduce(Rank self, int seq, Vec contrib, ReduceOp op)
+{
+    // MPICH 1.x style: reduce to rank 0, then broadcast.
+    auto all = allRanks(size());
+    Vec total = co_await reduceOver(self, tagFor(seq, 0), all, 0,
+                                    std::move(contrib), op);
+    co_return co_await bcastOver(self, tagFor(seq, 1), all, 0,
+                                 std::move(total));
+}
+
+sim::Task<Table>
+FlatCollectives::gather(Rank self, int seq, Rank root, Vec contrib)
+{
+    // Linear gather (as MPICH 1.x): everyone sends straight to root.
+    const int tag = tagFor(seq, 0);
+    if (self != root) {
+        sendAny(self, root, tag, LabelledVec{self, std::move(contrib)});
+        co_return Table{};
+    }
+    Table out(size());
+    out[root] = std::move(contrib);
+    for (int i = 0; i < size() - 1; ++i) {
+        LabelledVec lv = co_await recvAny<LabelledVec>(self, tag);
+        out[lv.first] = std::move(lv.second);
+    }
+    co_return out;
+}
+
+sim::Task<Vec>
+FlatCollectives::scatter(Rank self, int seq, Rank root, Table chunks)
+{
+    const int tag = tagFor(seq, 0);
+    if (self == root) {
+        TLI_ASSERT(static_cast<int>(chunks.size()) == size(),
+                   "scatter needs one chunk per rank");
+        for (Rank r = 0; r < size(); ++r) {
+            if (r != root)
+                sendAny(self, r, tag, std::move(chunks[r]));
+        }
+        co_return std::move(chunks[root]);
+    }
+    co_return co_await recvAny<Vec>(self, tag);
+}
+
+sim::Task<Table>
+FlatCollectives::allgather(Rank self, int seq, Vec contrib)
+{
+    // Ring allgather: p-1 steps, each step forwards the piece received
+    // in the previous step to the right neighbour.
+    const int p = size();
+    const int tag = tagFor(seq, 0);
+    const Rank right = (self + 1) % p;
+
+    Table out(p);
+    out[self] = contrib;
+    LabelledVec current{self, std::move(contrib)};
+    for (int step = 0; step < p - 1; ++step) {
+        sendAny(self, right, tag,
+                LabelledVec{current.first, std::move(current.second)});
+        current = co_await recvAny<LabelledVec>(self, tag);
+        out[current.first] = current.second;
+    }
+    co_return out;
+}
+
+sim::Task<Table>
+FlatCollectives::alltoall(Rank self, int seq, Table sendbuf)
+{
+    // Pairwise exchange: step s talks to (self + s) and (self - s).
+    const int p = size();
+    TLI_ASSERT(static_cast<int>(sendbuf.size()) == p,
+               "alltoall needs one row per rank");
+    TLI_ASSERT(p < phasesPerCall, "alltoall limited to ", phasesPerCall,
+               " ranks");
+    Table out(p);
+    out[self] = std::move(sendbuf[self]);
+    for (int step = 1; step < p; ++step) {
+        const int tag = tagFor(seq, step);
+        const Rank to = (self + step) % p;
+        const Rank from = (self - step + p) % p;
+        sendAny(self, to, tag, std::move(sendbuf[to]));
+        out[from] = co_await recvAny<Vec>(self, tag);
+    }
+    co_return out;
+}
+
+sim::Task<Vec>
+FlatCollectives::scan(Rank self, int seq, Vec contrib, ReduceOp op)
+{
+    // Recursive doubling inclusive scan.
+    const int p = size();
+    Vec result = contrib;
+    Vec partial = std::move(contrib);
+    int round = 0;
+    for (int dist = 1; dist < p; dist <<= 1, ++round) {
+        const int tag = tagFor(seq, round);
+        if (self + dist < p)
+            sendAny(self, self + dist, tag, partial);
+        if (self - dist >= 0) {
+            Vec lower = co_await recvAny<Vec>(self, tag);
+            op.combine(partial, lower);
+            op.combine(result, lower);
+        }
+    }
+    co_return result;
+}
+
+sim::Task<Vec>
+FlatCollectives::reduceScatter(Rank self, int seq, Table contrib,
+                               ReduceOp op)
+{
+    // MPICH 1.x: reduce the whole table to rank 0, then scatter.
+    const int p = size();
+    TLI_ASSERT(static_cast<int>(contrib.size()) == p,
+               "reduceScatter needs one row per destination rank");
+    const int gather_tag = tagFor(seq, 0);
+    const int scatter_tag = tagFor(seq, 1);
+    if (self != 0) {
+        sendAny(self, 0, gather_tag, std::move(contrib));
+        co_return co_await recvAny<Vec>(self, scatter_tag);
+    }
+    for (int i = 0; i < p - 1; ++i) {
+        Table t = co_await recvAny<Table>(self, gather_tag);
+        op.combine(contrib, t);
+    }
+    for (Rank r = 1; r < p; ++r)
+        sendAny(self, r, scatter_tag, std::move(contrib[r]));
+    co_return std::move(contrib[0]);
+}
+
+} // namespace tli::magpie

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Flat, topology-oblivious collective algorithms in the style of
+ * MPICH 1.x: binomial broadcast/reduce trees, dissemination barrier,
+ * linear gather/scatter, ring allgather, pairwise alltoall, recursive
+ * doubling scan, and reduce+scatter for reduce_scatter. These serve as
+ * the baseline the MagPIe algorithms are compared against (paper §6).
+ */
+
+#ifndef TWOLAYER_MAGPIE_COLLECTIVES_FLAT_H_
+#define TWOLAYER_MAGPIE_COLLECTIVES_FLAT_H_
+
+#include "magpie/impl.h"
+
+namespace tli::magpie {
+
+class FlatCollectives : public CollectivesImpl
+{
+  public:
+    using CollectivesImpl::CollectivesImpl;
+
+    sim::Task<void> barrier(Rank self, int seq) override;
+    sim::Task<Vec> bcast(Rank self, int seq, Rank root, Vec data) override;
+    sim::Task<Vec> reduce(Rank self, int seq, Rank root, Vec contrib,
+                          ReduceOp op) override;
+    sim::Task<Vec> allreduce(Rank self, int seq, Vec contrib,
+                             ReduceOp op) override;
+    sim::Task<Table> gather(Rank self, int seq, Rank root,
+                            Vec contrib) override;
+    sim::Task<Vec> scatter(Rank self, int seq, Rank root,
+                           Table chunks) override;
+    sim::Task<Table> allgather(Rank self, int seq, Vec contrib) override;
+    sim::Task<Table> alltoall(Rank self, int seq, Table sendbuf) override;
+    sim::Task<Vec> scan(Rank self, int seq, Vec contrib,
+                        ReduceOp op) override;
+    sim::Task<Vec> reduceScatter(Rank self, int seq, Table contrib,
+                                 ReduceOp op) override;
+
+};
+
+} // namespace tli::magpie
+
+#endif // TWOLAYER_MAGPIE_COLLECTIVES_FLAT_H_

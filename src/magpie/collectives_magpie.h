@@ -1,0 +1,62 @@
+/**
+ * @file
+ * MagPIe-style cluster-aware collective algorithms (paper §6): every
+ * data item crosses a wide-area link at most once, wide-area transfers
+ * happen in parallel, and intra-cluster phases use fast local trees.
+ * One rank per cluster (the lowest) acts as the cluster coordinator.
+ */
+
+#ifndef TWOLAYER_MAGPIE_COLLECTIVES_MAGPIE_H_
+#define TWOLAYER_MAGPIE_COLLECTIVES_MAGPIE_H_
+
+#include "magpie/impl.h"
+
+namespace tli::magpie {
+
+class MagpieCollectives : public CollectivesImpl
+{
+  public:
+    using CollectivesImpl::CollectivesImpl;
+
+    sim::Task<void> barrier(Rank self, int seq) override;
+    sim::Task<Vec> bcast(Rank self, int seq, Rank root, Vec data) override;
+    sim::Task<Vec> reduce(Rank self, int seq, Rank root, Vec contrib,
+                          ReduceOp op) override;
+    sim::Task<Vec> allreduce(Rank self, int seq, Vec contrib,
+                             ReduceOp op) override;
+    sim::Task<Table> gather(Rank self, int seq, Rank root,
+                            Vec contrib) override;
+    sim::Task<Vec> scatter(Rank self, int seq, Rank root,
+                           Table chunks) override;
+    sim::Task<Table> allgather(Rank self, int seq, Vec contrib) override;
+    sim::Task<Table> alltoall(Rank self, int seq, Table sendbuf) override;
+    sim::Task<Vec> scan(Rank self, int seq, Vec contrib,
+                        ReduceOp op) override;
+    sim::Task<Vec> reduceScatter(Rank self, int seq, Table contrib,
+                                 ReduceOp op) override;
+
+  private:
+    Rank
+    coordOf(ClusterId c) const
+    {
+        return topo().firstRankIn(c);
+    }
+
+    bool
+    isCoord(Rank r) const
+    {
+        return coordOf(topo().clusterOf(r)) == r;
+    }
+
+    /** Broadcast with explicit tag phases (reused by allreduce). */
+    sim::Task<Vec> bcastPhased(Rank self, int wan_tag, int local_tag,
+                               Rank root, Vec data);
+
+    /** Reduce with explicit tag phases (reused by allreduce). */
+    sim::Task<Vec> reducePhased(Rank self, int local_tag, int wan_tag,
+                                Rank root, Vec contrib, ReduceOp op);
+};
+
+} // namespace tli::magpie
+
+#endif // TWOLAYER_MAGPIE_COLLECTIVES_MAGPIE_H_

@@ -1,0 +1,141 @@
+#include "magpie/communicator.h"
+
+#include <utility>
+
+#include "magpie/collectives_flat.h"
+#include "magpie/collectives_magpie.h"
+
+namespace tli::magpie {
+
+const char *
+algorithmName(Algorithm a)
+{
+    switch (a) {
+      case Algorithm::flat:
+        return "flat";
+      case Algorithm::magpie:
+        return "magpie";
+    }
+    return "?";
+}
+
+Communicator::Communicator(panda::Panda &panda, Algorithm algorithm)
+    : panda_(panda), algorithm_(algorithm)
+{
+    switch (algorithm) {
+      case Algorithm::flat:
+        impl_ = std::make_unique<FlatCollectives>(panda);
+        break;
+      case Algorithm::magpie:
+        impl_ = std::make_unique<MagpieCollectives>(panda);
+        break;
+    }
+    seq_.assign(panda.topology().totalRanks(), 0);
+}
+
+Communicator::~Communicator() = default;
+
+int
+Communicator::size() const
+{
+    return panda_.topology().totalRanks();
+}
+
+sim::Task<void>
+Communicator::barrier(Rank self)
+{
+    co_await impl_->barrier(self, nextSeq(self));
+}
+
+sim::Task<Vec>
+Communicator::bcast(Rank self, Rank root, Vec data)
+{
+    co_return co_await impl_->bcast(self, nextSeq(self), root,
+                                    std::move(data));
+}
+
+sim::Task<Vec>
+Communicator::reduce(Rank self, Rank root, Vec contrib, ReduceOp op)
+{
+    co_return co_await impl_->reduce(self, nextSeq(self), root,
+                                     std::move(contrib), op);
+}
+
+sim::Task<Vec>
+Communicator::allreduce(Rank self, Vec contrib, ReduceOp op)
+{
+    co_return co_await impl_->allreduce(self, nextSeq(self),
+                                        std::move(contrib), op);
+}
+
+sim::Task<Table>
+Communicator::gather(Rank self, Rank root, Vec contrib)
+{
+    co_return co_await impl_->gather(self, nextSeq(self), root,
+                                     std::move(contrib));
+}
+
+sim::Task<Table>
+Communicator::gatherv(Rank self, Rank root, Vec contrib)
+{
+    co_return co_await impl_->gather(self, nextSeq(self), root,
+                                     std::move(contrib));
+}
+
+sim::Task<Vec>
+Communicator::scatter(Rank self, Rank root, Table chunks)
+{
+    co_return co_await impl_->scatter(self, nextSeq(self), root,
+                                      std::move(chunks));
+}
+
+sim::Task<Vec>
+Communicator::scatterv(Rank self, Rank root, Table chunks)
+{
+    co_return co_await impl_->scatter(self, nextSeq(self), root,
+                                      std::move(chunks));
+}
+
+sim::Task<Table>
+Communicator::allgather(Rank self, Vec contrib)
+{
+    co_return co_await impl_->allgather(self, nextSeq(self),
+                                        std::move(contrib));
+}
+
+sim::Task<Table>
+Communicator::allgatherv(Rank self, Vec contrib)
+{
+    co_return co_await impl_->allgather(self, nextSeq(self),
+                                        std::move(contrib));
+}
+
+sim::Task<Table>
+Communicator::alltoall(Rank self, Table sendbuf)
+{
+    co_return co_await impl_->alltoall(self, nextSeq(self),
+                                       std::move(sendbuf));
+}
+
+sim::Task<Table>
+Communicator::alltoallv(Rank self, Table sendbuf)
+{
+    co_return co_await impl_->alltoall(self, nextSeq(self),
+                                       std::move(sendbuf));
+}
+
+sim::Task<Vec>
+Communicator::scan(Rank self, Vec contrib, ReduceOp op)
+{
+    co_return co_await impl_->scan(self, nextSeq(self),
+                                   std::move(contrib), op);
+}
+
+sim::Task<Vec>
+Communicator::reduceScatter(Rank self, Table contrib, ReduceOp op)
+{
+    co_return co_await impl_->reduceScatter(self, nextSeq(self),
+                                            std::move(contrib), op);
+}
+
+} // namespace tli::magpie

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The public collective-communication API: the fourteen MPI-1
+ * collective operations over all ranks of the two-layer machine, with
+ * a selectable algorithm family (flat MPICH-like baseline, or the
+ * cluster-aware MagPIe algorithms of paper §6).
+ */
+
+#ifndef TWOLAYER_MAGPIE_COMMUNICATOR_H_
+#define TWOLAYER_MAGPIE_COMMUNICATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "magpie/impl.h"
+#include "magpie/types.h"
+#include "panda/panda.h"
+#include "sim/task.h"
+
+namespace tli::magpie {
+
+/** Which collective algorithm family a Communicator uses. */
+enum class Algorithm
+{
+    /** Topology-oblivious baselines in the style of MPICH 1.x. */
+    flat,
+    /** Cluster-aware wide-area-optimal algorithms (MagPIe). */
+    magpie,
+};
+
+const char *algorithmName(Algorithm a);
+
+/**
+ * A communicator spanning every rank of the machine.
+ *
+ * Usage mirrors MPI: every rank must call the same sequence of
+ * collective operations with matching arguments (same root, same
+ * shapes). Each method is awaitable and completes when that rank's
+ * participation is finished.
+ *
+ * Fixed-count operations (gather, scatter, allgather, alltoall,
+ * reduce, allreduce, reduceScatter, scan, bcast) require equal-length
+ * contributions on every rank; the *v variants accept ragged sizes.
+ */
+class Communicator
+{
+  public:
+    Communicator(panda::Panda &panda, Algorithm algorithm);
+    ~Communicator();
+
+    int size() const;
+    Algorithm algorithm() const { return algorithm_; }
+
+    /** MPI_Barrier. */
+    sim::Task<void> barrier(Rank self);
+
+    /** MPI_Bcast: @p data is significant at @p root; returned on all. */
+    sim::Task<Vec> bcast(Rank self, Rank root, Vec data);
+
+    /** MPI_Reduce: result returned at @p root, empty elsewhere. */
+    sim::Task<Vec> reduce(Rank self, Rank root, Vec contrib, ReduceOp op);
+
+    /** MPI_Allreduce. */
+    sim::Task<Vec> allreduce(Rank self, Vec contrib, ReduceOp op);
+
+    /** MPI_Gather (uniform lengths enforced). */
+    sim::Task<Table> gather(Rank self, Rank root, Vec contrib);
+
+    /** MPI_Gatherv (ragged lengths allowed). */
+    sim::Task<Table> gatherv(Rank self, Rank root, Vec contrib);
+
+    /** MPI_Scatter: @p chunks significant at root, uniform lengths. */
+    sim::Task<Vec> scatter(Rank self, Rank root, Table chunks);
+
+    /** MPI_Scatterv. */
+    sim::Task<Vec> scatterv(Rank self, Rank root, Table chunks);
+
+    /** MPI_Allgather. */
+    sim::Task<Table> allgather(Rank self, Vec contrib);
+
+    /** MPI_Allgatherv. */
+    sim::Task<Table> allgatherv(Rank self, Vec contrib);
+
+    /** MPI_Alltoall: row d of @p sendbuf goes to rank d. */
+    sim::Task<Table> alltoall(Rank self, Table sendbuf);
+
+    /** MPI_Alltoallv. */
+    sim::Task<Table> alltoallv(Rank self, Table sendbuf);
+
+    /** MPI_Scan (inclusive prefix reduction). */
+    sim::Task<Vec> scan(Rank self, Vec contrib, ReduceOp op);
+
+    /** MPI_Reduce_scatter: row d of @p contrib is destined for rank d;
+     *  each rank receives the element-wise reduction of its row. */
+    sim::Task<Vec> reduceScatter(Rank self, Table contrib, ReduceOp op);
+
+    /** Number of collective calls issued by rank 0 (diagnostics). */
+    int callsIssued() const { return seq_.empty() ? 0 : seq_[0]; }
+
+  private:
+    int
+    nextSeq(Rank self)
+    {
+        return seq_[self]++;
+    }
+
+    panda::Panda &panda_;
+    Algorithm algorithm_;
+    std::unique_ptr<CollectivesImpl> impl_;
+    std::vector<int> seq_;
+};
+
+} // namespace tli::magpie
+
+#endif // TWOLAYER_MAGPIE_COMMUNICATOR_H_

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The internal strategy interface implemented by the flat (MPICH-like)
+ * and MagPIe (cluster-aware) collective algorithm families, plus the
+ * messaging and tree helpers they share.
+ */
+
+#ifndef TWOLAYER_MAGPIE_IMPL_H_
+#define TWOLAYER_MAGPIE_IMPL_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "magpie/types.h"
+#include "panda/panda.h"
+#include "sim/task.h"
+
+namespace tli::magpie {
+
+/**
+ * One collective-algorithm family. Every method is invoked once per
+ * participating rank with a call sequence number @p seq that is
+ * identical across ranks for matching calls (the Communicator
+ * guarantees this); implementations derive collision-free message tags
+ * from it.
+ *
+ * Reduction operators must be associative and commutative: tree
+ * reductions combine partial results in arrival order.
+ */
+class CollectivesImpl
+{
+  public:
+    explicit CollectivesImpl(panda::Panda &panda) : panda_(panda) {}
+    virtual ~CollectivesImpl() = default;
+
+    virtual sim::Task<void> barrier(Rank self, int seq) = 0;
+    virtual sim::Task<Vec> bcast(Rank self, int seq, Rank root,
+                                 Vec data) = 0;
+    virtual sim::Task<Vec> reduce(Rank self, int seq, Rank root,
+                                  Vec contrib, ReduceOp op) = 0;
+    virtual sim::Task<Vec> allreduce(Rank self, int seq, Vec contrib,
+                                     ReduceOp op) = 0;
+    virtual sim::Task<Table> gather(Rank self, int seq, Rank root,
+                                    Vec contrib) = 0;
+    virtual sim::Task<Vec> scatter(Rank self, int seq, Rank root,
+                                   Table chunks) = 0;
+    virtual sim::Task<Table> allgather(Rank self, int seq,
+                                       Vec contrib) = 0;
+    virtual sim::Task<Table> alltoall(Rank self, int seq,
+                                      Table sendbuf) = 0;
+    virtual sim::Task<Vec> scan(Rank self, int seq, Vec contrib,
+                                ReduceOp op) = 0;
+    virtual sim::Task<Vec> reduceScatter(Rank self, int seq,
+                                         Table contrib, ReduceOp op) = 0;
+
+  protected:
+    /** Message tag for phase @p phase of collective call @p seq. */
+    int
+    tagFor(int seq, int phase) const
+    {
+        TLI_ASSERT(phase >= 0 && phase < phasesPerCall,
+                   "collective phase out of range: ", phase);
+        return tagBase + seq * phasesPerCall + phase;
+    }
+
+    /** Send any payload type that has a wireSize() overload. */
+    template <typename P>
+    void
+    sendAny(Rank self, Rank dst, int tag, P payload)
+    {
+        // The size must be read before the payload is moved into the
+        // message (argument evaluation order is unspecified).
+        const std::uint64_t bytes = wireSize(payload);
+        panda_.send(self, dst, tag, bytes, std::move(payload));
+    }
+
+    template <typename P>
+    sim::Task<P>
+    recvAny(Rank self, int tag)
+    {
+        panda::Message m = co_await panda_.recv(self, tag);
+        co_return m.take<P>();
+    }
+
+    /** Index of @p r in @p members; panics if absent. */
+    static int
+    indexOf(const std::vector<Rank> &members, Rank r)
+    {
+        auto it = std::find(members.begin(), members.end(), r);
+        TLI_ASSERT(it != members.end(), "rank ", r, " not a member");
+        return static_cast<int>(it - members.begin());
+    }
+
+    /**
+     * Binomial-tree broadcast over an arbitrary participant set.
+     * @p members lists the participants; @p local_root must be one of
+     * them. Returns the data on every member. Works for any payload
+     * with a wireSize() overload.
+     */
+    template <typename P>
+    sim::Task<P>
+    bcastOver(Rank self, int tag, const std::vector<Rank> &members,
+              Rank local_root, P data)
+    {
+        const int n = static_cast<int>(members.size());
+        const int root_idx = indexOf(members, local_root);
+        const int vrank = (indexOf(members, self) - root_idx + n) % n;
+
+        // Receive from the parent (every non-root vrank has one).
+        int mask = 1;
+        while (mask < n) {
+            if (vrank & mask) {
+                data = co_await recvAny<P>(self, tag);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward to children.
+        mask >>= 1;
+        while (mask > 0) {
+            if (vrank + mask < n) {
+                Rank child = members[(vrank + mask + root_idx) % n];
+                sendAny(self, child, tag, data);
+            }
+            mask >>= 1;
+        }
+        co_return data;
+    }
+
+    /**
+     * Binomial-tree reduction to @p local_root over a rank set.
+     * Non-root members return an empty payload.
+     */
+    template <typename P>
+    sim::Task<P>
+    reduceOver(Rank self, int tag, const std::vector<Rank> &members,
+               Rank local_root, P contrib, ReduceOp op)
+    {
+        const int n = static_cast<int>(members.size());
+        const int root_idx = indexOf(members, local_root);
+        const int vrank = (indexOf(members, self) - root_idx + n) % n;
+
+        int mask = 1;
+        while (mask < n) {
+            if (vrank & mask) {
+                Rank parent = members[(vrank - mask + root_idx) % n];
+                sendAny(self, parent, tag, std::move(contrib));
+                co_return P{};
+            }
+            if (vrank + mask < n) {
+                P child = co_await recvAny<P>(self, tag);
+                op.combine(contrib, child);
+            }
+            mask <<= 1;
+        }
+        co_return contrib;
+    }
+
+    int size() const { return panda_.topology().totalRanks(); }
+    const net::Topology &topo() const { return panda_.topology(); }
+
+    static constexpr int tagBase = 1 << 16;
+    static constexpr int phasesPerCall = 160;
+
+    panda::Panda &panda_;
+};
+
+} // namespace tli::magpie
+
+#endif // TWOLAYER_MAGPIE_IMPL_H_

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Value types shared by the collective-communication library.
+ */
+
+#ifndef TWOLAYER_MAGPIE_TYPES_H_
+#define TWOLAYER_MAGPIE_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace tli::magpie {
+
+/** The universal element buffer (models an MPI_DOUBLE buffer). */
+using Vec = std::vector<double>;
+
+/** Per-rank buffers (ragged rows model the MPI "v" variants). */
+using Table = std::vector<Vec>;
+
+/** A buffer labelled with the rank it originated from. */
+using LabelledVec = std::pair<Rank, Vec>;
+
+/** A buffer routed through an intermediary: source, destination, data. */
+struct RoutedVec
+{
+    Rank src = invalidNode;
+    Rank dst = invalidNode;
+    Vec data;
+};
+
+/** A combined message carrying several labelled buffers. */
+using Bundle = std::vector<LabelledVec>;
+
+/** A combined message carrying several routed buffers. */
+using RoutedBundle = std::vector<RoutedVec>;
+
+/** Simulated wire size of a Vec. */
+inline std::uint64_t
+wireSize(const Vec &v)
+{
+    return 8 * v.size();
+}
+
+/** Simulated wire size of a Table (8 bytes of framing per row). */
+inline std::uint64_t
+wireSize(const Table &t)
+{
+    std::uint64_t n = 0;
+    for (const auto &row : t)
+        n += 8 + wireSize(row);
+    return n;
+}
+
+inline std::uint64_t
+wireSize(const LabelledVec &lv)
+{
+    return 8 + wireSize(lv.second);
+}
+
+inline std::uint64_t
+wireSize(const RoutedVec &rv)
+{
+    return 16 + wireSize(rv.data);
+}
+
+inline std::uint64_t
+wireSize(const Bundle &b)
+{
+    std::uint64_t n = 0;
+    for (const auto &lv : b)
+        n += wireSize(lv);
+    return n;
+}
+
+inline std::uint64_t
+wireSize(const RoutedBundle &b)
+{
+    std::uint64_t n = 0;
+    for (const auto &rv : b)
+        n += wireSize(rv);
+    return n;
+}
+
+/**
+ * An associative, commutative element-wise reduction operator
+ * (models MPI_Op for the predefined operators).
+ */
+class ReduceOp
+{
+  public:
+    using Fn = std::function<double(double, double)>;
+
+    explicit ReduceOp(Fn fn) : fn_(std::move(fn)) {}
+
+    static ReduceOp
+    sum()
+    {
+        return ReduceOp([](double a, double b) { return a + b; });
+    }
+
+    static ReduceOp
+    prod()
+    {
+        return ReduceOp([](double a, double b) { return a * b; });
+    }
+
+    static ReduceOp
+    min()
+    {
+        return ReduceOp([](double a, double b) { return a < b ? a : b; });
+    }
+
+    static ReduceOp
+    max()
+    {
+        return ReduceOp([](double a, double b) { return a > b ? a : b; });
+    }
+
+    double operator()(double a, double b) const { return fn_(a, b); }
+
+    /** Element-wise combine @p b into @p a (sizes must match). */
+    void
+    combine(Vec &a, const Vec &b) const
+    {
+        TLI_ASSERT(a.size() == b.size(), "reduce length mismatch: ",
+                   a.size(), " vs ", b.size());
+        for (std::size_t i = 0; i < a.size(); ++i)
+            a[i] = fn_(a[i], b[i]);
+    }
+
+    /** Row-wise combine of equally-shaped tables. */
+    void
+    combine(Table &a, const Table &b) const
+    {
+        TLI_ASSERT(a.size() == b.size(), "reduce table shape mismatch");
+        for (std::size_t i = 0; i < a.size(); ++i)
+            combine(a[i], b[i]);
+    }
+
+  private:
+    Fn fn_;
+};
+
+} // namespace tli::magpie
+
+#endif // TWOLAYER_MAGPIE_TYPES_H_

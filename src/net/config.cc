@@ -1,0 +1,70 @@
+#include "net/config.h"
+
+namespace tli::net {
+
+LinkParams
+myrinetParams()
+{
+    LinkParams p;
+    p.latency = microseconds(15);
+    p.bandwidth = megabytesPerSec(50);
+    p.perMessageCost = microseconds(5);
+    return p;
+}
+
+LinkParams
+wideAreaParams(double mbyte_per_sec, double latency_ms)
+{
+    LinkParams p;
+    p.latency = milliseconds(latency_ms);
+    p.bandwidth = megabytesPerSec(mbyte_per_sec);
+    p.perMessageCost = wideAreaPerMessageCost;
+    return p;
+}
+
+LinkParams
+gatewayParams()
+{
+    LinkParams p;
+    p.latency = 0;
+    p.bandwidth = megabytesPerSec(14);
+    p.perMessageCost = microseconds(100);
+    return p;
+}
+
+FabricParams
+dasParams(double wan_mbyte_per_sec, double wan_latency_ms)
+{
+    FabricParams p;
+    p.local = myrinetParams();
+    p.wide = wideAreaParams(wan_mbyte_per_sec, wan_latency_ms);
+    p.gateway = gatewayParams();
+    return p;
+}
+
+FabricParams
+allMyrinetParams()
+{
+    FabricParams p;
+    p.local = myrinetParams();
+    p.wide = myrinetParams();
+    return p;
+}
+
+const std::vector<double> &
+figureBandwidthsMBs()
+{
+    static const std::vector<double> grid = {6.3, 2.6, 0.95, 0.3,
+                                             0.1, 0.03};
+    return grid;
+}
+
+const std::vector<double> &
+figureLatenciesMs()
+{
+    static const std::vector<double> grid = {0.5, 1.3, 3.3, 10,
+                                             30,  100, 300};
+    return grid;
+}
+
+} // namespace tli::net

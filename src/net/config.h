@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Calibrated parameter presets for the DAS-style testbed the paper
+ * emulates, and the bandwidth/latency sweep grids of its evaluation.
+ */
+
+#ifndef TWOLAYER_NET_CONFIG_H_
+#define TWOLAYER_NET_CONFIG_H_
+
+#include <vector>
+
+#include "net/fabric.h"
+#include "sim/types.h"
+
+namespace tli::net {
+
+/**
+ * Intra-cluster Myrinet, calibrated to the paper: 20 us application
+ * level one-way latency, 50 MByte/s application-level bandwidth. We
+ * split the 20 us into 5 us of per-message host overhead (occupies the
+ * NIC) and 15 us of pipelined latency.
+ */
+LinkParams myrinetParams();
+
+/**
+ * A wide-area ATM/TCP link with the given application-level bandwidth
+ * (MByte/s) and one-way latency (milliseconds). The TCP protocol stack
+ * in the gateways adds a fixed per-message occupancy.
+ */
+LinkParams wideAreaParams(double mbyte_per_sec, double latency_ms);
+
+/** Per-message TCP/gateway overhead on wide-area links, seconds. */
+constexpr Time wideAreaPerMessageCost = 0.20e-3;
+
+/**
+ * Gateway TCP processing capacity on the DAS (software TCP on a
+ * 200 MHz Pentium Pro over OC3 ATM: ~14 MByte/s application level).
+ */
+LinkParams gatewayParams();
+
+/** A two-layer fabric parameter set with the default local layer. */
+FabricParams dasParams(double wan_mbyte_per_sec, double wan_latency_ms);
+
+/**
+ * Fabric parameters for a single all-Myrinet cluster (the paper's
+ * upper-bound configuration). The wide layer is never used but is set
+ * to Myrinet speeds for safety.
+ */
+FabricParams allMyrinetParams();
+
+/** The paper's Fig. 3 bandwidth grid, MByte/s (fast to slow). */
+const std::vector<double> &figureBandwidthsMBs();
+
+/** The paper's Fig. 3 one-way latency grid, milliseconds. */
+const std::vector<double> &figureLatenciesMs();
+
+} // namespace tli::net
+
+#endif // TWOLAYER_NET_CONFIG_H_

@@ -1,0 +1,260 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tli::net {
+
+Fabric::Fabric(sim::Simulation &sim, const Topology &topo,
+               const FabricParams &params)
+    : sim_(sim), topo_(topo), params_(params),
+      jitterRng_(params.jitterSeed)
+{
+    TLI_ASSERT(params.wanJitter >= 0 && params.wanJitter <= 1,
+               "wanJitter must be within [0, 1]");
+    const int ranks = topo_.totalRanks();
+    const int clusters = topo_.clusterCount();
+    nics_.reserve(ranks);
+    for (int i = 0; i < ranks; ++i)
+        nics_.emplace_back(params_.local);
+    std::size_t wan_count =
+        params_.wanTopology == WanTopology::fullyConnected
+            ? static_cast<std::size_t>(clusters) * clusters
+            : 2 * static_cast<std::size_t>(clusters);
+    wanLinks_.reserve(wan_count);
+    LinkParams wan_link = params_.wide;
+    if (params_.wanTopology == WanTopology::star) {
+        // Two serializing segments per transfer; split the one-way
+        // latency and per-message cost between them.
+        wan_link.latency /= 2;
+        wan_link.perMessageCost /= 2;
+    }
+    for (std::size_t i = 0; i < wan_count; ++i)
+        wanLinks_.emplace_back(wan_link);
+    gatewayOut_.reserve(clusters);
+    gatewayIn_.reserve(clusters);
+    LinkParams inbound = params_.gateway;
+    inbound.latency += params_.local.latency; // final local hop
+    for (int i = 0; i < clusters; ++i) {
+        gatewayOut_.emplace_back(params_.gateway);
+        gatewayIn_.emplace_back(inbound);
+    }
+    stats_.interPerCluster.resize(clusters);
+}
+
+void
+Fabric::send(Rank src, Rank dst, std::uint64_t bytes,
+             std::function<void()> deliver)
+{
+    const Time now = sim_.now();
+    const ClusterId sc = topo_.clusterOf(src);
+    const ClusterId dc = topo_.clusterOf(dst);
+
+    Time arrival;
+    if (src == dst) {
+        // Loopback: charge only the per-message protocol cost.
+        arrival = now + params_.local.perMessageCost;
+        stats_.intra.messages += 1;
+        stats_.intra.bytes += bytes;
+    } else if (sc == dc) {
+        arrival = nics_[src].transmit(now, bytes);
+        stats_.intra.messages += 1;
+        stats_.intra.bytes += bytes;
+    } else {
+        // Hop to the local gateway over the sender's NIC...
+        Time at_gateway = nics_[src].transmit(now, bytes);
+        // ...through the gateway's protocol stack...
+        Time gw_done = gatewayOut_[sc].transmit(at_gateway, bytes);
+        // ...across the wide area...
+        Time at_remote_gw = wanTransit(sc, dc, gw_done, bytes);
+        // ...and through the remote gateway to the target.
+        arrival = gatewayIn_[dc].transmit(at_remote_gw, bytes);
+        arrival = inOrder(src, dst, arrival + wanLatencyAdjust());
+
+        stats_.intra.messages += 2; // gateway hops on both sides
+        stats_.intra.bytes += 2 * bytes;
+        stats_.inter.messages += 1;
+        stats_.inter.bytes += bytes;
+        LinkStats &per = stats_.interPerCluster[sc];
+        per.messages += 1;
+        per.bytes += bytes;
+    }
+
+    sim_.scheduleAt(arrival, std::move(deliver));
+}
+
+Time
+Fabric::probeArrival(Rank src, Rank dst, std::uint64_t bytes) const
+{
+    const Time now = sim_.now();
+    const ClusterId sc = topo_.clusterOf(src);
+    const ClusterId dc = topo_.clusterOf(dst);
+    auto xmit = [](const Link &link, Time at, std::uint64_t n) {
+        Time start = at > link.busyUntil() ? at : link.busyUntil();
+        return start + link.params().perMessageCost +
+               static_cast<double>(n) / link.params().bandwidth +
+               link.params().latency;
+    };
+    if (src == dst)
+        return now + params_.local.perMessageCost;
+    if (sc == dc)
+        return xmit(nics_[src], now, bytes);
+    Time a = xmit(nics_[src], now, bytes);
+    Time g = xmit(gatewayOut_[sc], a, bytes);
+    Time b = xmit(wanLinks_[wanIndex(sc, dc)], g, bytes);
+    return xmit(gatewayIn_[dc], b, bytes);
+}
+
+void
+Fabric::multicastLocal(Rank src, const std::vector<Rank> &dsts,
+                       std::uint64_t bytes,
+                       std::function<void(Rank)> deliver)
+{
+    if (dsts.empty())
+        return;
+    const Time now = sim_.now();
+    Time arrival = nics_[src].transmit(now, bytes);
+    stats_.intra.messages += 1;
+    stats_.intra.bytes += bytes;
+    for (Rank d : dsts) {
+        TLI_ASSERT(topo_.sameCluster(src, d),
+                   "multicastLocal crosses clusters");
+        sim_.scheduleAt(arrival, [deliver, d] { deliver(d); });
+    }
+}
+
+void
+Fabric::multicastToCluster(Rank src, ClusterId dc,
+                           const std::vector<Rank> &dsts,
+                           std::uint64_t bytes,
+                           std::function<void(Rank)> deliver)
+{
+    if (dsts.empty())
+        return;
+    const Time now = sim_.now();
+    const ClusterId sc = topo_.clusterOf(src);
+    TLI_ASSERT(sc != dc, "multicastToCluster used for the local cluster");
+
+    Time at_gateway = nics_[src].transmit(now, bytes);
+    Time gw_done = gatewayOut_[sc].transmit(at_gateway, bytes);
+    Time at_remote_gw = wanTransit(sc, dc, gw_done, bytes);
+    // One inbound pass fans out to all members of the cluster.
+    Time arrival = gatewayIn_[dc].transmit(at_remote_gw, bytes);
+    // The whole bundle shares one jitter draw; per-destination order
+    // is preserved against earlier point-to-point traffic.
+    Time adjust = wanLatencyAdjust();
+    arrival += adjust;
+    for (Rank d : dsts)
+        arrival = std::max(arrival, inOrder(src, d, arrival));
+    for (Rank d : dsts)
+        lastDelivery_[{src, d}] = arrival;
+
+    stats_.intra.messages += 2;
+    stats_.intra.bytes += 2 * bytes;
+    stats_.inter.messages += 1;
+    stats_.inter.bytes += bytes;
+    LinkStats &per = stats_.interPerCluster[sc];
+    per.messages += 1;
+    per.bytes += bytes;
+
+    for (Rank d : dsts) {
+        TLI_ASSERT(topo_.clusterOf(d) == dc,
+                   "multicast destination outside target cluster");
+        sim_.scheduleAt(arrival, [deliver, d] { deliver(d); });
+    }
+}
+
+const char *
+wanTopologyName(WanTopology t)
+{
+    switch (t) {
+      case WanTopology::fullyConnected:
+        return "fully-connected";
+      case WanTopology::star:
+        return "star";
+      case WanTopology::ring:
+        return "ring";
+    }
+    return "?";
+}
+
+Time
+Fabric::wanTransit(ClusterId sc, ClusterId dc, Time at,
+                   std::uint64_t bytes)
+{
+    const int clusters = topo_.clusterCount();
+    switch (params_.wanTopology) {
+      case WanTopology::fullyConnected:
+        return wanLinks_[wanIndex(sc, dc)].transmit(at, bytes);
+
+      case WanTopology::star: {
+        // Up through the source cluster's access link, down through
+        // the destination's.
+        Time mid = wanLinks_[sc].transmit(at, bytes);
+        return wanLinks_[clusters + dc].transmit(mid, bytes);
+      }
+
+      case WanTopology::ring: {
+        // Take the shorter arc, store-and-forward per hop.
+        int cw = (dc - sc + clusters) % clusters;
+        int ccw = (sc - dc + clusters) % clusters;
+        Time t = at;
+        if (cw <= ccw) {
+            for (ClusterId c = sc; c != dc;
+                 c = (c + 1) % clusters) {
+                t = wanLinks_[c].transmit(t, bytes);
+            }
+        } else {
+            for (ClusterId c = sc; c != dc;
+                 c = (c + clusters - 1) % clusters) {
+                t = wanLinks_[clusters + c].transmit(t, bytes);
+            }
+        }
+        return t;
+      }
+    }
+    TLI_PANIC("unreachable wan topology");
+}
+
+Time
+Fabric::wanLatencyAdjust()
+{
+    if (params_.wanJitter <= 0)
+        return 0;
+    double u = jitterRng_.uniform(-1.0, 1.0);
+    return params_.wide.latency * params_.wanJitter * u;
+}
+
+Time
+Fabric::inOrder(Rank src, Rank dst, Time arrival)
+{
+    Time &last = lastDelivery_[{src, dst}];
+    if (arrival < last)
+        arrival = last;
+    last = arrival;
+    return arrival;
+}
+
+double
+Fabric::maxWanUtilization(Time elapsed) const
+{
+    if (elapsed <= 0)
+        return 0;
+    Time busiest = 0;
+    for (const Link &link : wanLinks_) {
+        if (link.stats().busyTime > busiest)
+            busiest = link.stats().busyTime;
+    }
+    return busiest / elapsed;
+}
+
+void
+Fabric::resetStats()
+{
+    stats_.intra = LinkStats{};
+    stats_.inter = LinkStats{};
+    for (auto &s : stats_.interPerCluster)
+        s = LinkStats{};
+}
+
+} // namespace tli::net

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * The two-layer interconnect fabric: routes messages between ranks,
+ * serializing on per-node NICs, per-cluster-pair wide-area links and
+ * per-gateway egress links, and accounts traffic per layer.
+ */
+
+#ifndef TWOLAYER_NET_FABRIC_H_
+#define TWOLAYER_NET_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include <map>
+
+#include "net/link.h"
+#include "net/topology.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "sim/types.h"
+
+namespace tli::net {
+
+/**
+ * Shape of the wide-area network connecting the cluster gateways.
+ * The paper's DAS is fully connected; §5.1 predicts its
+ * bisection-bandwidth effect "will diminish, and disappear in star,
+ * ring, or bus topologies" — these variants let that be measured.
+ */
+enum class WanTopology
+{
+    /** A dedicated link per ordered cluster pair (the DAS). */
+    fullyConnected,
+    /** One up/down link per cluster through a central switch. */
+    star,
+    /** Unidirectional links around a cycle; shorter arc is taken. */
+    ring,
+};
+
+const char *wanTopologyName(WanTopology t);
+
+/** Timing parameters for both layers of the interconnect. */
+struct FabricParams
+{
+    /** Intra-cluster (system-area, "Myrinet") link parameters. */
+    LinkParams local;
+    /** Inter-cluster (wide-area, "ATM") link parameters. */
+    LinkParams wide;
+    /**
+     * Gateway machine processing capacity: every byte entering or
+     * leaving a cluster over the wide area passes through the
+     * dedicated gateway's protocol stack (software TCP on the DAS).
+     * Defaults to an effectively unbounded gateway; dasParams() sets a
+     * realistic finite value.
+     */
+    LinkParams gateway{0.0, 1e12, 0.0};
+
+    /** Wide-area shape; see WanTopology. */
+    WanTopology wanTopology = WanTopology::fullyConnected;
+
+    /**
+     * Wide-area latency variability (the paper's §1 future-work item:
+     * "the impact of variations in latency and bandwidth, which often
+     * occur on wide area links"): each wide-area message's propagation
+     * latency is drawn uniformly from
+     * [latency*(1-jitter), latency*(1+jitter)]. Per-(source,
+     * destination) delivery order is still preserved, as TCP does.
+     */
+    double wanJitter = 0.0;
+    /** Seed of the jitter stream (runs stay reproducible). */
+    std::uint64_t jitterSeed = 0x1234;
+};
+
+/** Aggregated fabric usage, split by layer. */
+struct TrafficStats
+{
+    LinkStats intra;
+    LinkStats inter;
+    /** Outbound wide-area traffic per source cluster. */
+    std::vector<LinkStats> interPerCluster;
+};
+
+/**
+ * The routed two-layer fabric.
+ *
+ * An intra-cluster message serializes on the sender's NIC and arrives
+ * one local latency later. An inter-cluster message serializes on the
+ * sender's NIC (hop to the local gateway), then on the wide-area link
+ * for the (source, destination) cluster pair, then on the destination
+ * gateway's egress link for the final local hop. Because wide-area
+ * links are a per-cluster-pair resource, concurrent senders in one
+ * cluster contend exactly as the paper describes (3 x 6 MByte/s links
+ * out of each of 4 clusters => 18 MByte/s per cluster cap).
+ */
+class Fabric
+{
+  public:
+    Fabric(sim::Simulation &sim, const Topology &topo,
+           const FabricParams &params);
+
+    /**
+     * Send @p bytes from @p src to @p dst; @p deliver fires at the
+     * arrival time. Sending to self delivers after one local
+     * per-message cost with no latency.
+     */
+    void send(Rank src, Rank dst, std::uint64_t bytes,
+              std::function<void()> deliver);
+
+    /** Arrival time a message would have if injected now (no send). */
+    Time probeArrival(Rank src, Rank dst, std::uint64_t bytes) const;
+
+    /**
+     * Hardware multicast inside the sender's cluster ("multicast
+     * primitives inside clusters"): one NIC serialization delivers to
+     * every rank in @p dsts, all of which must live in src's cluster.
+     */
+    void multicastLocal(Rank src, const std::vector<Rank> &dsts,
+                        std::uint64_t bytes,
+                        std::function<void(Rank)> deliver);
+
+    /**
+     * Point-to-point transfer to a remote cluster's gateway followed by
+     * a gateway-egress multicast to @p dsts (all in cluster @p dc).
+     * This is the wide-area half of the paper's multicast tree.
+     */
+    void multicastToCluster(Rank src, ClusterId dc,
+                            const std::vector<Rank> &dsts,
+                            std::uint64_t bytes,
+                            std::function<void(Rank)> deliver);
+
+    const Topology &topology() const { return topo_; }
+    const FabricParams &params() const { return params_; }
+    const TrafficStats &stats() const { return stats_; }
+
+    /** Usage counters of one directed wide-area link. */
+    const LinkStats &
+    wanLinkStats(ClusterId a, ClusterId b) const
+    {
+        return wanLinks_[wanIndex(a, b)].stats();
+    }
+
+    /** Usage counters of one rank's outbound NIC. */
+    const LinkStats &
+    nicStats(Rank r) const
+    {
+        return nics_[r].stats();
+    }
+
+    /** Usage counters of a cluster's gateway (out / in direction). */
+    const LinkStats &
+    gatewayOutStats(ClusterId c) const
+    {
+        return gatewayOut_[c].stats();
+    }
+
+    const LinkStats &
+    gatewayInStats(ClusterId c) const
+    {
+        return gatewayIn_[c].stats();
+    }
+
+    /**
+     * Occupancy of the busiest wide-area link as a fraction of
+     * @p elapsed seconds — 1.0 means some cluster pair's link was
+     * saturated for the whole interval.
+     */
+    double maxWanUtilization(Time elapsed) const;
+
+    /**
+     * Reset traffic counters (used to exclude startup phases from
+     * measurements, as the paper does).
+     */
+    void resetStats();
+
+  private:
+    /** Index of the wide-area link from cluster @p a to cluster @p b. */
+    std::size_t
+    wanIndex(ClusterId a, ClusterId b) const
+    {
+        return static_cast<std::size_t>(a) * topo_.clusterCount() + b;
+    }
+
+    /** Sampled latency perturbation for one wide-area message. */
+    Time wanLatencyAdjust();
+
+    /** Clamp @p arrival so (src, dst) delivery stays in send order. */
+    Time inOrder(Rank src, Rank dst, Time arrival);
+
+    sim::Simulation &sim_;
+    Topology topo_;
+    FabricParams params_;
+    sim::Random jitterRng_;
+    /** Last delivery time per (src, dst) pair (TCP ordering). */
+    std::map<std::pair<Rank, Rank>, Time> lastDelivery_;
+
+    /**
+     * Carry one message across the wide area from cluster @p sc to
+     * cluster @p dc, starting no earlier than @p at; serializes on
+     * the links the configured topology routes it over and returns
+     * the time it reaches the destination gateway.
+     */
+    Time wanTransit(ClusterId sc, ClusterId dc, Time at,
+                    std::uint64_t bytes);
+
+    /** One outbound NIC link per rank (local layer). */
+    std::vector<Link> nics_;
+    /**
+     * Wide-area links. Fully connected: directed links indexed
+     * [src*C + dst]. Star: up links [0, C) and down links [C, 2C).
+     * Ring: clockwise hop links [0, C) and counterclockwise [C, 2C).
+     */
+    std::vector<Link> wanLinks_;
+    /** Per-cluster gateway protocol processing, outbound direction. */
+    std::vector<Link> gatewayOut_;
+    /** Per-cluster gateway protocol processing, inbound direction
+     *  (also covers the final local hop to the destination). */
+    std::vector<Link> gatewayIn_;
+
+    TrafficStats stats_;
+};
+
+} // namespace tli::net
+
+#endif // TWOLAYER_NET_FABRIC_H_

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A serializing network link with latency, bandwidth, and per-message
+ * cost — the unit the NUMA-gap study varies.
+ */
+
+#ifndef TWOLAYER_NET_LINK_H_
+#define TWOLAYER_NET_LINK_H_
+
+#include <cstdint>
+
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace tli::net {
+
+/**
+ * Link timing parameters (LogGP-flavoured).
+ *
+ * A message of size S injected at time t on an idle link is delivered at
+ *   t + perMessageCost + S / bandwidth + latency.
+ * The (perMessageCost + S/bandwidth) term occupies the link, so
+ * back-to-back messages serialize; the latency term is pipelined
+ * propagation and does not occupy the link.
+ */
+struct LinkParams
+{
+    /** One-way propagation delay in seconds. */
+    Time latency = 0;
+    /** Sustained bandwidth in bytes per second. */
+    double bandwidth = 1e9;
+    /** Fixed occupancy per message (protocol overhead), seconds. */
+    Time perMessageCost = 0;
+};
+
+/** Cumulative usage counters for one link or one class of links. */
+struct LinkStats
+{
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    /** Total serialization (occupancy) time, seconds. */
+    Time busyTime = 0;
+
+    void
+    operator+=(const LinkStats &other)
+    {
+        messages += other.messages;
+        bytes += other.bytes;
+        busyTime += other.busyTime;
+    }
+};
+
+/**
+ * A single serializing link. Not a process: transmit() advances the
+ * link's busy horizon and returns the delivery time; the caller
+ * schedules the delivery event.
+ */
+class Link
+{
+  public:
+    explicit Link(const LinkParams &params) : params_(params)
+    {
+        TLI_ASSERT(params.bandwidth > 0, "bandwidth must be positive");
+        TLI_ASSERT(params.latency >= 0 && params.perMessageCost >= 0,
+                   "negative link timing");
+    }
+
+    /**
+     * Inject a message of @p bytes at time @p now.
+     * @return the time at which the message is fully delivered at the
+     *         far end of this link.
+     */
+    Time
+    transmit(Time now, std::uint64_t bytes)
+    {
+        Time start = now > busyUntil_ ? now : busyUntil_;
+        Time occupancy =
+            params_.perMessageCost +
+            static_cast<double>(bytes) / params_.bandwidth;
+        busyUntil_ = start + occupancy;
+        stats_.messages += 1;
+        stats_.bytes += bytes;
+        stats_.busyTime += occupancy;
+        return busyUntil_ + params_.latency;
+    }
+
+    /** Earliest time a new message could begin serializing. */
+    Time busyUntil() const { return busyUntil_; }
+
+    const LinkParams &params() const { return params_; }
+    const LinkStats &stats() const { return stats_; }
+
+  private:
+    LinkParams params_;
+    Time busyUntil_ = 0;
+    LinkStats stats_;
+};
+
+} // namespace tli::net
+
+#endif // TWOLAYER_NET_LINK_H_

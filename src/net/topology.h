@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The two-layer cluster-of-clusters topology: C clusters of P compute
+ * nodes each, every cluster fronted by a dedicated gateway, gateways
+ * fully connected by wide-area links (the DAS layout).
+ */
+
+#ifndef TWOLAYER_NET_TOPOLOGY_H_
+#define TWOLAYER_NET_TOPOLOGY_H_
+
+#include <vector>
+
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace tli::net {
+
+/**
+ * Static description of the two-layer machine. Ranks 0..P*C-1 are
+ * compute processes, assigned block-wise: rank r lives in cluster
+ * r / procsPerCluster. Gateways are dedicated machines and carry no
+ * rank.
+ */
+class Topology
+{
+  public:
+    Topology(int clusters, int procs_per_cluster)
+        : clusters_(clusters), procsPerCluster_(procs_per_cluster)
+    {
+        TLI_ASSERT(clusters >= 1 && procs_per_cluster >= 1,
+                   "bad topology ", clusters, "x", procs_per_cluster);
+    }
+
+    int clusterCount() const { return clusters_; }
+    int procsPerCluster() const { return procsPerCluster_; }
+    int totalRanks() const { return clusters_ * procsPerCluster_; }
+
+    ClusterId
+    clusterOf(Rank r) const
+    {
+        TLI_ASSERT(r >= 0 && r < totalRanks(), "rank out of range: ", r);
+        return r / procsPerCluster_;
+    }
+
+    bool
+    sameCluster(Rank a, Rank b) const
+    {
+        return clusterOf(a) == clusterOf(b);
+    }
+
+    /** Lowest rank in @p c; conventionally the cluster coordinator. */
+    Rank
+    firstRankIn(ClusterId c) const
+    {
+        TLI_ASSERT(c >= 0 && c < clusters_, "cluster out of range: ", c);
+        return c * procsPerCluster_;
+    }
+
+    /** Index of @p r within its own cluster (0-based). */
+    int
+    indexInCluster(Rank r) const
+    {
+        return r % procsPerCluster_;
+    }
+
+    std::vector<Rank>
+    ranksInCluster(ClusterId c) const
+    {
+        std::vector<Rank> out;
+        out.reserve(procsPerCluster_);
+        for (int i = 0; i < procsPerCluster_; ++i)
+            out.push_back(firstRankIn(c) + i);
+        return out;
+    }
+
+    /**
+     * The member of @p cluster designated as local coordinator for the
+     * remote rank @p peer. Spreading coordinators round-robin over the
+     * cluster (as the Water optimization does) balances the caching and
+     * reduction load.
+     */
+    Rank
+    coordinatorFor(ClusterId cluster, Rank peer) const
+    {
+        return firstRankIn(cluster) + (peer % procsPerCluster_);
+    }
+
+  private:
+    int clusters_;
+    int procsPerCluster_;
+};
+
+} // namespace tli::net
+
+#endif // TWOLAYER_NET_TOPOLOGY_H_

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * An Orca-style shared-object runtime (Bal et al., the language five
+ * of the paper's six applications are written in): objects are
+ * replicated on every rank, read operations are local, and write
+ * operations are applied to all replicas in a single global order
+ * established by the sequencer service — the runtime layer whose
+ * behaviour the ASP application's ordered broadcasts come from.
+ *
+ * Orca's condition synchronization is provided by guarded operations:
+ * an operation may wait until a predicate over the object state holds;
+ * it is re-evaluated after every locally applied write.
+ */
+
+#ifndef TWOLAYER_ORCA_OBJECT_RUNTIME_H_
+#define TWOLAYER_ORCA_OBJECT_RUNTIME_H_
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "panda/ordered.h"
+#include "panda/panda.h"
+#include "panda/sequencer.h"
+#include "sim/channel.h"
+#include "sim/task.h"
+
+namespace tli::orca {
+
+/** Identifier of a shared object. */
+using ObjectId = int;
+
+/**
+ * The shared-object runtime for one simulated machine.
+ *
+ * Usage: create objects before spawning processes; call
+ * startServers() for every rank; processes then use read(), write()
+ * and guard(). Writes are totally ordered across all objects (one
+ * global sequencer, as in the Orca RTS) and return once applied to
+ * the caller's replica; remote replicas apply asynchronously in the
+ * same order.
+ */
+class ObjectRuntime
+{
+  public:
+    /**
+     * @param panda    the messaging layer
+     * @param tag_base three consecutive tags are used: tag_base for
+     *                 the sequencer, +1 for the update broadcast,
+     *                 +2 reserved for control
+     */
+    ObjectRuntime(panda::Panda &panda, int tag_base);
+
+    /** Create a replicated object with the given initial state. */
+    template <typename T>
+    ObjectId
+    create(T initial)
+    {
+        ObjectId id = nextObject_++;
+        for (auto &replica : replicas_)
+            replica.emplace(id, initial);
+        return id;
+    }
+
+    /** Spawn the applier and sequencer servers for @p rank. */
+    void startServers(Rank rank);
+
+    /** Stop all servers (call once, after all processes finished). */
+    void shutdown(Rank self);
+
+    /**
+     * Local read: applies @p fn to the caller's replica and returns
+     * its result. No communication (Orca replicates objects so reads
+     * are free).
+     */
+    template <typename T, typename Fn>
+    auto
+    read(Rank self, ObjectId obj, Fn fn) const
+    {
+        return fn(stateOf<T>(self, obj));
+    }
+
+    /**
+     * Totally ordered write: @p op is applied to every replica in the
+     * same global order. @p wire_bytes is the simulated size of the
+     * operation's arguments. Completes when the caller's replica has
+     * applied this write (and so every write ordered before it).
+     */
+    template <typename T>
+    sim::Task<void>
+    write(Rank self, ObjectId obj, std::function<void(T &)> op,
+          std::uint64_t wire_bytes)
+    {
+        auto erased = [op = std::move(op)](std::any &state) {
+            op(std::any_cast<T &>(state));
+        };
+        co_await writeErased(self, obj, std::move(erased), wire_bytes);
+    }
+
+    /**
+     * Guarded read (Orca condition synchronization): suspends until
+     * @p pred over the local replica returns true — re-checked after
+     * every locally applied write — then returns @p fn of the state.
+     */
+    template <typename T, typename Pred, typename Fn>
+    auto
+    guard(Rank self, ObjectId obj, Pred pred, Fn fn)
+        -> sim::Task<decltype(fn(std::declval<const T &>()))>
+    {
+        while (!pred(stateOf<T>(self, obj)))
+            co_await blockOnWrite(self, obj);
+        co_return fn(stateOf<T>(self, obj));
+    }
+
+    /** Number of writes issued machine-wide. */
+    std::int64_t writesIssued() const { return sequencer_.issued(); }
+
+  private:
+    using ErasedOp = std::function<void(std::any &)>;
+
+    /** A sequence-stamped update broadcast to every rank. */
+    struct Update
+    {
+        std::int64_t seq = 0;
+        ObjectId obj = invalidNode;
+        std::shared_ptr<ErasedOp> op;
+    };
+
+    template <typename T>
+    const T &
+    stateOf(Rank self, ObjectId obj) const
+    {
+        auto it = replicas_[self].find(obj);
+        TLI_ASSERT(it != replicas_[self].end(), "unknown object ",
+                   obj);
+        return std::any_cast<const T &>(it->second);
+    }
+
+    sim::Task<void> writeErased(Rank self, ObjectId obj, ErasedOp op,
+                                std::uint64_t wire_bytes);
+
+    /** Suspend until the next write is applied to (self, obj). */
+    sim::Task<void> blockOnWrite(Rank self, ObjectId obj);
+
+    /** Suspend until the local replica applied sequence @p seq. */
+    sim::Task<void> awaitApplied(Rank self, std::int64_t seq);
+
+    sim::Task<void> applierServer(Rank self);
+    void applyLocally(Rank self, const Update &update);
+
+    int updateTag() const { return tagBase_ + 1; }
+
+    panda::Panda &panda_;
+    int tagBase_;
+    panda::SequencerService sequencer_;
+    ObjectId nextObject_ = 0;
+
+    /** Per-rank replica state. */
+    std::vector<std::map<ObjectId, std::any>> replicas_;
+    /** Per-rank applied-sequence high-water mark. */
+    std::vector<std::int64_t> appliedThrough_;
+    /** Per-rank reorder buffers for incoming updates. */
+    std::vector<panda::OrderedReceiver<Update>> reorder_;
+    /** Per-rank processes waiting for a sequence number to apply. */
+    std::vector<std::multimap<std::int64_t,
+                              std::shared_ptr<sim::Channel<int>>>>
+        seqWaiters_;
+    /** Per-(rank, object) guard wakeup channels. */
+    std::vector<std::map<ObjectId,
+                         std::vector<std::shared_ptr<
+                             sim::Channel<int>>>>> guardWaiters_;
+};
+
+} // namespace tli::orca
+
+#endif // TWOLAYER_ORCA_OBJECT_RUNTIME_H_

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The message record exchanged by the Panda layer: routing metadata,
+ * a simulated wire size, and an arbitrary typed payload.
+ */
+
+#ifndef TWOLAYER_PANDA_MESSAGE_H_
+#define TWOLAYER_PANDA_MESSAGE_H_
+
+#include <any>
+#include <cstdint>
+#include <utility>
+
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace tli::panda {
+
+/** Bytes the messaging layer adds to every payload on the wire. */
+constexpr std::uint64_t headerBytes = 32;
+
+/**
+ * A delivered message. The payload is carried by value (std::any) so
+ * applications can ship small structs directly, or a shared_ptr to a
+ * large buffer to avoid copies; @ref wireBytes is the simulated size,
+ * which is what the network model charges.
+ */
+struct Message
+{
+    Rank src = invalidNode;
+    Rank dst = invalidNode;
+    int tag = 0;
+    /** Simulated size on the wire (payload + header). */
+    std::uint64_t wireBytes = 0;
+    /** Reply tag for RPC requests; -1 for one-way messages. */
+    int replyTag = -1;
+    std::any payload;
+
+    /** Typed payload access; panics on type mismatch (a program bug). */
+    template <typename T>
+    const T &
+    as() const
+    {
+        const T *p = std::any_cast<T>(&payload);
+        TLI_ASSERT(p != nullptr, "payload type mismatch on tag ", tag);
+        return *p;
+    }
+
+    /** Move the payload out (for large buffers). */
+    template <typename T>
+    T
+    take()
+    {
+        T *p = std::any_cast<T>(&payload);
+        TLI_ASSERT(p != nullptr, "payload type mismatch on tag ", tag);
+        return std::move(*p);
+    }
+};
+
+} // namespace tli::panda
+
+#endif // TWOLAYER_PANDA_MESSAGE_H_

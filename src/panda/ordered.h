@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Receive-side reordering buffer for totally-ordered broadcast: hands
+ * messages to the application strictly in sequence-number order.
+ */
+
+#ifndef TWOLAYER_PANDA_ORDERED_H_
+#define TWOLAYER_PANDA_ORDERED_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "panda/panda.h"
+#include "sim/task.h"
+
+namespace tli::panda {
+
+/**
+ * Buffers messages whose payloads are sequence-stamped and releases
+ * them in order. The application supplies the sequence number for each
+ * raw message via a projection when pushing.
+ */
+template <typename T>
+class OrderedReceiver
+{
+  public:
+    /** Insert item @p value with sequence number @p seq. */
+    void
+    push(std::int64_t seq, T value)
+    {
+        TLI_ASSERT(seq >= next_, "duplicate or stale sequence ", seq);
+        buffer_.emplace(seq, std::move(value));
+    }
+
+    /** Is the next in-order item available? */
+    bool
+    ready() const
+    {
+        auto it = buffer_.begin();
+        return it != buffer_.end() && it->first == next_;
+    }
+
+    /** Pop the next in-order item; ready() must be true. */
+    T
+    pop()
+    {
+        auto it = buffer_.begin();
+        TLI_ASSERT(it != buffer_.end() && it->first == next_,
+                   "pop without ready item");
+        T value = std::move(it->second);
+        buffer_.erase(it);
+        ++next_;
+        return value;
+    }
+
+    std::int64_t nextSeq() const { return next_; }
+    std::size_t buffered() const { return buffer_.size(); }
+
+  private:
+    std::int64_t next_ = 0;
+    std::map<std::int64_t, T> buffer_;
+};
+
+} // namespace tli::panda
+
+#endif // TWOLAYER_PANDA_ORDERED_H_

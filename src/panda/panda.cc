@@ -1,0 +1,134 @@
+#include "panda/panda.h"
+
+#include <map>
+#include <utility>
+
+namespace tli::panda {
+
+Panda::Panda(sim::Simulation &sim, net::Fabric &fabric)
+    : sim_(sim), fabric_(fabric)
+{
+    const int ranks = fabric_.topology().totalRanks();
+    mailboxes_.resize(ranks);
+    replySeq_.assign(ranks, 0);
+}
+
+sim::Channel<Message> &
+Panda::mailbox(Rank rank, int tag)
+{
+    TLI_ASSERT(rank >= 0 &&
+               rank < static_cast<int>(mailboxes_.size()),
+               "mailbox for bad rank ", rank);
+    auto &boxes = mailboxes_[rank];
+    auto it = boxes.find(tag);
+    if (it == boxes.end()) {
+        it = boxes.emplace(tag,
+                 std::make_unique<sim::Channel<Message>>(sim_)).first;
+    }
+    return *it->second;
+}
+
+void
+Panda::send(Rank src, Rank dst, int tag, std::uint64_t payload_bytes,
+            std::any payload)
+{
+    ++sendCount_;
+    auto msg = std::make_shared<Message>();
+    msg->src = src;
+    msg->dst = dst;
+    msg->tag = tag;
+    msg->wireBytes = payload_bytes + headerBytes;
+    msg->payload = std::move(payload);
+    fabric_.send(src, dst, msg->wireBytes, [this, msg] {
+        mailbox(msg->dst, msg->tag).send(std::move(*msg));
+    });
+}
+
+sim::Task<Message>
+Panda::rpc(Rank self, Rank dst, int tag, std::uint64_t payload_bytes,
+           std::any payload)
+{
+    const int rtag = nextReplyTag(self);
+    ++sendCount_;
+    auto msg = std::make_shared<Message>();
+    msg->src = self;
+    msg->dst = dst;
+    msg->tag = tag;
+    msg->wireBytes = payload_bytes + headerBytes;
+    msg->replyTag = rtag;
+    msg->payload = std::move(payload);
+    fabric_.send(self, dst, msg->wireBytes, [this, msg] {
+        mailbox(msg->dst, msg->tag).send(std::move(*msg));
+    });
+
+    Message response = co_await recv(self, rtag);
+    // Reply mailboxes are one-shot; reclaim the entry.
+    mailboxes_[self].erase(rtag);
+    co_return response;
+}
+
+void
+Panda::reply(Rank self, const Message &request,
+             std::uint64_t payload_bytes, std::any payload)
+{
+    TLI_ASSERT(request.replyTag >= 0, "reply to a one-way message");
+    send(self, request.src, request.replyTag, payload_bytes,
+         std::move(payload));
+}
+
+void
+Panda::multicast(Rank src, const std::vector<Rank> &dsts, int tag,
+                 std::uint64_t payload_bytes, std::any payload)
+{
+    const auto &topo = fabric_.topology();
+    const ClusterId sc = topo.clusterOf(src);
+    const std::uint64_t wire = payload_bytes + headerBytes;
+
+    std::vector<Rank> local;
+    std::map<ClusterId, std::vector<Rank>> remote;
+    for (Rank d : dsts) {
+        if (d == src)
+            continue;
+        ClusterId c = topo.clusterOf(d);
+        if (c == sc)
+            local.push_back(d);
+        else
+            remote[c].push_back(d);
+    }
+
+    auto shared = std::make_shared<std::any>(std::move(payload));
+    auto deliver = [this, src, tag, wire, shared](Rank d) {
+        Message m;
+        m.src = src;
+        m.dst = d;
+        m.tag = tag;
+        m.wireBytes = wire;
+        m.payload = *shared;
+        mailbox(d, tag).send(std::move(m));
+    };
+
+    if (!local.empty()) {
+        ++sendCount_;
+        fabric_.multicastLocal(src, local, wire, deliver);
+    }
+    for (auto &[cluster, members] : remote) {
+        ++sendCount_;
+        fabric_.multicastToCluster(src, cluster, members, wire, deliver);
+    }
+}
+
+void
+Panda::broadcast(Rank src, int tag, std::uint64_t payload_bytes,
+                 std::any payload)
+{
+    std::vector<Rank> all;
+    const int n = fabric_.topology().totalRanks();
+    all.reserve(n);
+    for (Rank r = 0; r < n; ++r) {
+        if (r != src)
+            all.push_back(r);
+    }
+    multicast(src, all, tag, payload_bytes, std::move(payload));
+}
+
+} // namespace tli::panda

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * An awaitable unbounded FIFO channel connecting simulated processes.
+ */
+
+#ifndef TWOLAYER_SIM_CHANNEL_H_
+#define TWOLAYER_SIM_CHANNEL_H_
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/logging.h"
+#include "sim/simulation.h"
+
+namespace tli::sim {
+
+/**
+ * Unbounded multi-producer multi-consumer FIFO channel.
+ *
+ * send() never blocks. recv() suspends the caller until an item is
+ * available. When an item arrives for a parked receiver, the wakeup is
+ * scheduled through the event queue at the current time, preserving
+ * deterministic ordering and keeping process stacks flat.
+ *
+ * Items are matched to receivers at send time (rendezvous of queued
+ * values with queued waiters), so FIFO fairness holds across multiple
+ * consumers.
+ */
+template <typename T>
+class Channel
+{
+  public:
+    explicit Channel(Simulation &sim) : sim_(&sim) {}
+
+    Channel(const Channel &) = delete;
+    Channel &operator=(const Channel &) = delete;
+
+    /** Deliver @p value; wakes the oldest parked receiver, if any. */
+    void
+    send(T value)
+    {
+        if (!waiters_.empty()) {
+            Waiter w = waiters_.front();
+            waiters_.pop_front();
+            w.slot->emplace(std::move(value));
+            auto h = w.handle;
+            sim_->schedule(0, [h] { h.resume(); });
+        } else {
+            items_.push_back(std::move(value));
+        }
+    }
+
+    /** Awaitable receive; completes with the next item in FIFO order. */
+    auto
+    recv()
+    {
+        struct Awaiter
+        {
+            Channel *ch;
+            std::optional<T> slot;
+
+            bool
+            await_ready()
+            {
+                if (ch->waiters_.empty() && !ch->items_.empty()) {
+                    slot.emplace(std::move(ch->items_.front()));
+                    ch->items_.pop_front();
+                    return true;
+                }
+                return false;
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                ch->waiters_.push_back(Waiter{&slot, h});
+            }
+
+            T
+            await_resume()
+            {
+                TLI_ASSERT(slot.has_value(), "channel resumed empty");
+                return std::move(*slot);
+            }
+        };
+        return Awaiter{this, std::nullopt};
+    }
+
+    /** Non-blocking receive. */
+    std::optional<T>
+    tryRecv()
+    {
+        if (items_.empty())
+            return std::nullopt;
+        std::optional<T> v(std::move(items_.front()));
+        items_.pop_front();
+        return v;
+    }
+
+    bool empty() const { return items_.empty(); }
+    std::size_t size() const { return items_.size(); }
+    std::size_t waiterCount() const { return waiters_.size(); }
+
+  private:
+    struct Waiter
+    {
+        std::optional<T> *slot;
+        std::coroutine_handle<> handle;
+    };
+
+    Simulation *sim_;
+    std::deque<T> items_;
+    std::deque<Waiter> waiters_;
+};
+
+} // namespace tli::sim
+
+#endif // TWOLAYER_SIM_CHANNEL_H_

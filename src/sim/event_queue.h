@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic discrete-event queue: a binary min-heap ordered by
+ * (time, insertion sequence), so same-time events fire in FIFO order.
+ */
+
+#ifndef TWOLAYER_SIM_EVENT_QUEUE_H_
+#define TWOLAYER_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace tli::sim {
+
+/** A scheduled callback with its firing time and a FIFO tie-breaker. */
+struct Event
+{
+    Time when;
+    std::uint64_t seq;
+    std::function<void()> action;
+};
+
+/**
+ * Min-heap of events keyed on (when, seq). The sequence number makes
+ * simulation runs bit-reproducible: two events scheduled for the same
+ * instant always fire in the order they were scheduled.
+ */
+class EventQueue
+{
+  public:
+    /** Schedule @p action to fire at absolute time @p when. */
+    void
+    push(Time when, std::function<void()> action)
+    {
+        heap_.push(Event{when, nextSeq_++, std::move(action)});
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Time of the earliest pending event. Undefined when empty. */
+    Time nextTime() const { return heap_.top().when; }
+
+    /** Remove and return the earliest pending event. */
+    Event
+    pop()
+    {
+        Event ev = std::move(const_cast<Event &>(heap_.top()));
+        heap_.pop();
+        return ev;
+    }
+
+    /** Total number of events ever scheduled (statistics). */
+    std::uint64_t scheduledCount() const { return nextSeq_; }
+
+    /** Drop all pending events (teardown). */
+    void
+    clear()
+    {
+        while (!heap_.empty())
+            heap_.pop();
+    }
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace tli::sim
+
+#endif // TWOLAYER_SIM_EVENT_QUEUE_H_

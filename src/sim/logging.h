@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Status and error reporting helpers, following the gem5 convention:
+ * panic() for internal invariant violations (aborts), fatal() for user
+ * configuration errors (clean exit), warn()/inform() for diagnostics.
+ */
+
+#ifndef TWOLAYER_SIM_LOGGING_H_
+#define TWOLAYER_SIM_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tli {
+
+namespace detail {
+
+/** Format a parameter pack into one string via an ostringstream. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Abort because an internal invariant was violated. Use for conditions
+ * that indicate a bug in the library itself, never for user error.
+ */
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char *file, int line, Args &&...args)
+{
+    detail::panicImpl(file, line,
+                      detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/**
+ * Exit because the user supplied an invalid configuration. The simulation
+ * cannot continue, but this is not a library bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatalAt(const char *file, int line, Args &&...args)
+{
+    detail::fatalImpl(file, line,
+                      detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** Print a warning about suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+} // namespace tli
+
+#define TLI_PANIC(...) ::tli::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+#define TLI_FATAL(...) ::tli::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert an invariant; active in all build types (simulation is cheap). */
+#define TLI_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::tli::panicAt(__FILE__, __LINE__,                             \
+                           "assertion failed: " #cond                     \
+                           __VA_OPT__(, " ", __VA_ARGS__));                \
+        }                                                                  \
+    } while (0)
+
+#endif // TWOLAYER_SIM_LOGGING_H_

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Seeded pseudo-random source for reproducible workload generation.
+ */
+
+#ifndef TWOLAYER_SIM_RANDOM_H_
+#define TWOLAYER_SIM_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace tli::sim {
+
+/**
+ * A thin deterministic wrapper around std::mt19937_64. Every workload
+ * generator takes an explicit Random (or seed) so runs are reproducible
+ * and independent of global state.
+ */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x5DEECE66DULL) : engine_(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /** Standard normal deviate. */
+    double
+    gaussian()
+    {
+        return std::normal_distribution<double>(0.0, 1.0)(engine_);
+    }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace tli::sim
+
+#endif // TWOLAYER_SIM_RANDOM_H_

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Lazy coroutine task type used for simulated processes.
+ *
+ * A Task<T> is a suspended computation. Awaiting it starts it and, via
+ * symmetric transfer, resumes the awaiter when the task completes.
+ * Top-level tasks (simulated processes) are handed to
+ * Simulation::spawn(), which owns their frames for the simulation's
+ * lifetime.
+ */
+
+#ifndef TWOLAYER_SIM_TASK_H_
+#define TWOLAYER_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <variant>
+
+#include "sim/logging.h"
+
+namespace tli::sim {
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+/** Behaviour shared by all task promises: continuation chaining. */
+class PromiseBase
+{
+  public:
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter
+    {
+        bool await_ready() noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) noexcept
+        {
+            auto &promise = h.promise();
+            if (promise.continuation_)
+                return promise.continuation_;
+            return std::noop_coroutine();
+        }
+
+        void await_resume() noexcept {}
+    };
+
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void setContinuation(std::coroutine_handle<> c) { continuation_ = c; }
+
+  protected:
+    std::coroutine_handle<> continuation_;
+};
+
+template <typename T>
+class TaskPromise : public PromiseBase
+{
+  public:
+    Task<T> get_return_object();
+
+    template <typename U>
+    void
+    return_value(U &&value)
+    {
+        result_.template emplace<1>(std::forward<U>(value));
+    }
+
+    void
+    unhandled_exception()
+    {
+        result_.template emplace<2>(std::current_exception());
+    }
+
+    /** Extract the result, rethrowing a stored exception. */
+    T
+    takeResult()
+    {
+        if (result_.index() == 2)
+            std::rethrow_exception(std::get<2>(result_));
+        TLI_ASSERT(result_.index() == 1, "task finished without a value");
+        return std::move(std::get<1>(result_));
+    }
+
+  private:
+    std::variant<std::monostate, T, std::exception_ptr> result_;
+};
+
+template <>
+class TaskPromise<void> : public PromiseBase
+{
+  public:
+    Task<void> get_return_object();
+
+    void return_void() {}
+
+    void unhandled_exception() { exception_ = std::current_exception(); }
+
+    void
+    takeResult()
+    {
+        if (exception_)
+            std::rethrow_exception(exception_);
+    }
+
+    /** Exception stored by an unawaited (root) task, if any. */
+    std::exception_ptr storedException() const { return exception_; }
+
+  private:
+    std::exception_ptr exception_;
+};
+
+} // namespace detail
+
+/**
+ * A lazily-started coroutine producing a value of type T.
+ *
+ * Tasks are move-only. Destroying a Task destroys the coroutine frame,
+ * which is only safe when the coroutine is not scheduled for resumption;
+ * the Simulation honours this by draining its event queue before
+ * releasing spawned processes.
+ */
+template <typename T>
+class [[nodiscard]] Task
+{
+  public:
+    using promise_type = detail::TaskPromise<T>;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() noexcept = default;
+    explicit Task(Handle h) noexcept : coro_(h) {}
+
+    Task(Task &&other) noexcept : coro_(std::exchange(other.coro_, {})) {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            coro_ = std::exchange(other.coro_, {});
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(coro_); }
+    bool done() const { return !coro_ || coro_.done(); }
+
+    /**
+     * Release ownership of the coroutine frame to the caller
+     * (used by Simulation::spawn).
+     */
+    Handle release() { return std::exchange(coro_, {}); }
+
+    /** Awaiter: starts the task and resumes the awaiting coroutine
+     *  when it finishes. */
+    auto
+    operator co_await() &&
+    {
+        struct Awaiter
+        {
+            Handle coro;
+
+            bool await_ready() const noexcept { return !coro || coro.done(); }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> awaiting) noexcept
+            {
+                coro.promise().setContinuation(awaiting);
+                return coro;
+            }
+
+            T await_resume() { return coro.promise().takeResult(); }
+        };
+        return Awaiter{coro_};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (coro_) {
+            coro_.destroy();
+            coro_ = {};
+        }
+    }
+
+    Handle coro_;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T>
+TaskPromise<T>::get_return_object()
+{
+    return Task<T>(
+        std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void>
+TaskPromise<void>::get_return_object()
+{
+    return Task<void>(
+        std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+} // namespace detail
+
+} // namespace tli::sim
+
+#endif // TWOLAYER_SIM_TASK_H_

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental identifier and time types shared across the simulator.
+ */
+
+#ifndef TWOLAYER_SIM_TYPES_H_
+#define TWOLAYER_SIM_TYPES_H_
+
+#include <cstdint>
+
+namespace tli {
+
+/**
+ * Simulated time in seconds. Event ordering uses a (time, sequence)
+ * pair, so exact floating-point ties are broken deterministically.
+ */
+using Time = double;
+
+/** Identifier of a simulated machine (compute node or gateway). */
+using NodeId = int;
+
+/** Identifier of a cluster in the two-layer topology. */
+using ClusterId = int;
+
+/** Identifier of a parallel process (rank). Ranks map 1:1 to nodes. */
+using Rank = int;
+
+constexpr NodeId invalidNode = -1;
+constexpr ClusterId invalidCluster = -1;
+
+/** Convenience literals for readable scenario definitions. */
+constexpr Time microseconds(double us) { return us * 1e-6; }
+constexpr Time milliseconds(double ms) { return ms * 1e-3; }
+constexpr double megabytesPerSec(double mb) { return mb * 1e6; }
+
+} // namespace tli
+
+#endif // TWOLAYER_SIM_TYPES_H_

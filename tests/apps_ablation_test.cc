@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the ablation entry points: each partial optimization must
+ * still verify, and the design intuitions behind the ablation benches
+ * must hold (policy ordering, traffic reductions).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/asp/asp.h"
+#include "apps/awari/awari.h"
+#include "apps/water/water.h"
+
+namespace tli::apps {
+namespace {
+
+core::Scenario
+smallScenario()
+{
+    core::Scenario s;
+    s.clusters = 4;
+    s.procsPerCluster = 2;
+    s.wanBandwidthMBs = 2.0;
+    s.wanLatencyMs = 10.0;
+    s.problemScale = 0.05;
+    return s;
+}
+
+TEST(AspSequencerPolicy, AllThreePoliciesVerify)
+{
+    for (auto policy : {asp::SequencerPolicy::fixed,
+                        asp::SequencerPolicy::migrating,
+                        asp::SequencerPolicy::none}) {
+        auto r = asp::run(smallScenario(), policy);
+        EXPECT_TRUE(r.verified);
+    }
+}
+
+TEST(AspSequencerPolicy, PoliciesComputeTheSameAnswer)
+{
+    auto fixed = asp::run(smallScenario(), asp::SequencerPolicy::fixed);
+    auto none = asp::run(smallScenario(), asp::SequencerPolicy::none);
+    EXPECT_DOUBLE_EQ(fixed.checksum, none.checksum);
+}
+
+TEST(AspSequencerPolicy, OrderingFixedSlowerThanMigratingThanNone)
+{
+    // At 10 ms latency the sequencer round trips dominate: every
+    // policy removal must speed the program up.
+    auto fixed = asp::run(smallScenario(), asp::SequencerPolicy::fixed);
+    auto migrating =
+        asp::run(smallScenario(), asp::SequencerPolicy::migrating);
+    auto none = asp::run(smallScenario(), asp::SequencerPolicy::none);
+    EXPECT_LT(migrating.runTime, fixed.runTime);
+    EXPECT_LE(none.runTime, migrating.runTime);
+}
+
+TEST(AwariCombining, AllConfigurationsVerify)
+{
+    for (int batch : {1, 16, 256}) {
+        for (bool cluster : {false, true}) {
+            auto r = awari::runWithCombining(smallScenario(), batch,
+                                             cluster);
+            EXPECT_TRUE(r.verified)
+                << "batch=" << batch << " cluster=" << cluster;
+        }
+    }
+}
+
+TEST(AwariCombining, CombiningReducesWanMessages)
+{
+    auto none = awari::runWithCombining(smallScenario(), 1, false);
+    auto per_dest = awari::runWithCombining(smallScenario(), 64, false);
+    auto clustered = awari::runWithCombining(smallScenario(), 64, true);
+    EXPECT_GT(none.traffic.inter.messages,
+              per_dest.traffic.inter.messages);
+    EXPECT_GT(per_dest.traffic.inter.messages,
+              clustered.traffic.inter.messages);
+}
+
+TEST(AwariCombining, NoCombiningIsSlowest)
+{
+    auto none = awari::runWithCombining(smallScenario(), 1, false);
+    auto per_dest = awari::runWithCombining(smallScenario(), 64, false);
+    EXPECT_GT(none.runTime, per_dest.runTime);
+}
+
+TEST(WaterSplit, EveryCombinationVerifies)
+{
+    for (bool cache : {false, true}) {
+        for (bool reduce : {false, true}) {
+            auto r = water::runWith(smallScenario(), cache, reduce);
+            EXPECT_TRUE(r.verified)
+                << "cache=" << cache << " reduce=" << reduce;
+        }
+    }
+}
+
+TEST(WaterSplit, EachHalfReducesTraffic)
+{
+    auto neither = water::runWith(smallScenario(), false, false);
+    auto cache_only = water::runWith(smallScenario(), true, false);
+    auto reduce_only = water::runWith(smallScenario(), false, true);
+    auto both = water::runWith(smallScenario(), true, true);
+    EXPECT_LT(cache_only.traffic.inter.bytes,
+              neither.traffic.inter.bytes);
+    EXPECT_LT(reduce_only.traffic.inter.bytes,
+              neither.traffic.inter.bytes);
+    EXPECT_LT(both.traffic.inter.bytes,
+              cache_only.traffic.inter.bytes);
+    EXPECT_LT(both.traffic.inter.bytes,
+              reduce_only.traffic.inter.bytes);
+}
+
+TEST(WaterSplit, CombinationsComputeTheSameAnswerApproximately)
+{
+    // Different message routings change floating-point accumulation
+    // order; checksums agree to tolerance, not bitwise.
+    auto a = water::runWith(smallScenario(), false, false);
+    auto b = water::runWith(smallScenario(), true, true);
+    EXPECT_NEAR(a.checksum, b.checksum,
+                1e-7 * std::max(1.0, std::fabs(a.checksum)));
+}
+
+} // namespace
+} // namespace tli::apps

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the ASP application: the Floyd-Warshall kernel, the
+ * partitioning helpers, and the parallel program (both variants).
+ */
+
+#include "apps/asp/asp.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/partition.h"
+
+namespace tli::apps::asp {
+namespace {
+
+TEST(AspKernel, TinyGraphByHand)
+{
+    // 0 ->1 (1), 1->2 (2), 0->2 (9): shortest 0->2 is 3 via 1.
+    Matrix m = {{0, 1, 9}, {5, 0, 2}, {4, 7, 0}};
+    floydWarshall(m);
+    EXPECT_DOUBLE_EQ(m[0][2], 3);
+    EXPECT_DOUBLE_EQ(m[0][1], 1);
+    EXPECT_DOUBLE_EQ(m[2][1], 5); // 2->0->1 = 4+1
+    EXPECT_DOUBLE_EQ(m[1][0], 5); // direct edge beats 1->2->0 = 6
+}
+
+TEST(AspKernel, GraphGenerationIsDeterministic)
+{
+    Matrix a = makeGraph(50, 7);
+    Matrix b = makeGraph(50, 7);
+    Matrix c = makeGraph(50, 8);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_DOUBLE_EQ(a[i][i], 0.0);
+        for (int j = 0; j < 50; ++j) {
+            if (i != j) {
+                EXPECT_GE(a[i][j], 1.0);
+                EXPECT_LE(a[i][j], 100.0);
+            }
+        }
+    }
+}
+
+TEST(AspKernel, TriangleInequalityAfterSolve)
+{
+    Matrix m = makeGraph(40, 3);
+    floydWarshall(m);
+    for (int i = 0; i < 40; ++i) {
+        for (int j = 0; j < 40; ++j) {
+            for (int k = 0; k < 40; ++k)
+                EXPECT_LE(m[i][j], m[i][k] + m[k][j] + 1e-12);
+        }
+    }
+}
+
+TEST(AspKernel, SolveIsIdempotent)
+{
+    Matrix m = makeGraph(30, 11);
+    floydWarshall(m);
+    Matrix twice = m;
+    floydWarshall(twice);
+    EXPECT_EQ(m, twice);
+}
+
+TEST(Partition, BlocksCoverRangeExactly)
+{
+    for (int n : {7, 32, 100, 320}) {
+        for (int p : {1, 3, 8, 32}) {
+            int covered = 0;
+            for (int r = 0; r < p; ++r) {
+                EXPECT_EQ(blockLo(r, n, p) , covered);
+                covered = blockHi(r, n, p);
+                EXPECT_EQ(blockSize(r, n, p),
+                          blockHi(r, n, p) - blockLo(r, n, p));
+            }
+            EXPECT_EQ(covered, n);
+            for (int i = 0; i < n; ++i) {
+                int o = blockOwner(i, n, p);
+                EXPECT_GE(i, blockLo(o, n, p));
+                EXPECT_LT(i, blockHi(o, n, p));
+            }
+        }
+    }
+}
+
+core::Scenario
+smallScenario(int clusters, int procs)
+{
+    core::Scenario s;
+    s.clusters = clusters;
+    s.procsPerCluster = procs;
+    s.problemScale = 0.05;
+    return s;
+}
+
+TEST(AspParallel, UnoptimizedVerifies)
+{
+    auto r = run(smallScenario(2, 2), false);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.runTime, 0);
+}
+
+TEST(AspParallel, OptimizedVerifies)
+{
+    auto r = run(smallScenario(2, 2), true);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(AspParallel, SingleProcessorDegenerate)
+{
+    auto r = run(smallScenario(1, 1), false);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(r.traffic.inter.messages, 0u);
+}
+
+TEST(AspParallel, VariantsComputeIdenticalChecksums)
+{
+    auto a = run(smallScenario(2, 4), false);
+    auto b = run(smallScenario(2, 4), true);
+    EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+}
+
+TEST(AspParallel, MigrationCutsSequencerWanTraffic)
+{
+    // At high latency, the migrating sequencer must make the program
+    // faster: the unoptimized version pays one WAN round trip per row
+    // broadcast by a non-sequencer cluster.
+    core::Scenario s = smallScenario(4, 2);
+    s.wanLatencyMs = 30;
+    auto unopt = run(s, false);
+    auto opt = run(s, true);
+    ASSERT_TRUE(unopt.verified && opt.verified);
+    EXPECT_LT(opt.runTime, unopt.runTime);
+    // Optimized sends fewer inter-cluster messages (sequence traffic
+    // stays inside clusters; rows still cross).
+    EXPECT_LT(opt.traffic.inter.messages,
+              unopt.traffic.inter.messages);
+}
+
+TEST(AspParallel, AllMyrinetFasterThanWideArea)
+{
+    core::Scenario wan = smallScenario(2, 2);
+    wan.wanBandwidthMBs = 0.1;
+    wan.wanLatencyMs = 30;
+    auto fast = run(wan.asAllMyrinet(), false);
+    auto slow = run(wan, false);
+    EXPECT_LT(fast.runTime, slow.runTime);
+}
+
+} // namespace
+} // namespace tli::apps::asp

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the Barnes-Hut application: octree construction, force
+ * accuracy against direct summation, LET extraction validity, and the
+ * parallel BSP program.
+ */
+
+#include "apps/barnes/barnes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tli::apps::barnes {
+namespace {
+
+Vec3
+directSum(const std::vector<Body> &bodies, int target, double softening)
+{
+    Vec3 acc{0, 0, 0};
+    for (int j = 0; j < static_cast<int>(bodies.size()); ++j) {
+        if (j == target)
+            continue;
+        acc += accelerationFrom(bodies[target].pos,
+                                {bodies[j].pos, bodies[j].mass},
+                                softening);
+    }
+    return acc;
+}
+
+double
+norm(const Vec3 &v)
+{
+    return std::sqrt(v.x * v.x + v.y * v.y + v.z * v.z);
+}
+
+TEST(BarnesTree, MassIsConserved)
+{
+    auto bodies = makeBodies(500, 11);
+    Octree tree(bodies);
+    // Total force from very far away ~ total mass: probe via a distant
+    // point.
+    std::uint64_t n = 0;
+    Vec3 far{100, 100, 100};
+    Vec3 acc = tree.accelerationOn(far, 0.5, 0.01, &n);
+    double dist2 = 3 * 99.5 * 99.5;
+    double expect = 1.0 / dist2; // total mass 1 at ~that distance
+    EXPECT_NEAR(norm(acc), expect, 0.05 * expect);
+}
+
+TEST(BarnesTree, AccelerationCloseToDirectSum)
+{
+    auto bodies = makeBodies(400, 12);
+    Octree tree(bodies);
+    double total_err = 0;
+    for (int i = 0; i < 50; ++i) {
+        Vec3 approx = tree.accelerationOn(bodies[i].pos, 0.5, 0.01,
+                                          nullptr);
+        Vec3 exact = directSum(bodies, i, 0.01);
+        Vec3 diff{approx.x - exact.x, approx.y - exact.y,
+                  approx.z - exact.z};
+        total_err += norm(diff) / (norm(exact) + 1e-12);
+    }
+    EXPECT_LT(total_err / 50, 0.02); // mean relative error < 2%
+}
+
+TEST(BarnesTree, SmallThetaApproachesExact)
+{
+    auto bodies = makeBodies(200, 13);
+    Octree tree(bodies);
+    Vec3 tight = tree.accelerationOn(bodies[0].pos, 0.05, 0.01,
+                                     nullptr);
+    Vec3 exact = directSum(bodies, 0, 0.01);
+    Vec3 diff{tight.x - exact.x, tight.y - exact.y, tight.z - exact.z};
+    EXPECT_LT(norm(diff) / norm(exact), 1e-3);
+}
+
+TEST(BarnesTree, LargerThetaDoesFewerInteractions)
+{
+    auto bodies = makeBodies(1000, 14);
+    Octree tree(bodies);
+    std::uint64_t loose = 0, tight = 0;
+    tree.accelerationOn(bodies[0].pos, 1.0, 0.01, &loose);
+    tree.accelerationOn(bodies[0].pos, 0.2, 0.01, &tight);
+    EXPECT_LT(loose, tight);
+}
+
+TEST(BarnesTree, EssentialElementsConserveMass)
+{
+    auto bodies = makeBodies(600, 15);
+    Octree tree(bodies);
+    Box target{{0.0, 0.0, 0.0}, {0.1, 0.1, 0.1}};
+    auto elements = tree.essentialFor(target, 0.6);
+    double mass = 0;
+    for (const Element &e : elements)
+        mass += e.mass;
+    EXPECT_NEAR(mass, 1.0, 1e-9);
+    EXPECT_LT(elements.size(), bodies.size());
+}
+
+TEST(BarnesTree, EssentialElementsGiveAccurateRemoteForces)
+{
+    auto bodies = makeBodies(800, 16);
+    // Split: "local" = first 100 (clustered by construction? no —
+    // use a spatial box instead).
+    Box target{{0.0, 0.0, 0.0}, {0.25, 0.25, 0.25}};
+    std::vector<Body> inside, outside;
+    for (const Body &b : bodies) {
+        if (b.pos.x < 0.25 && b.pos.y < 0.25 && b.pos.z < 0.25)
+            inside.push_back(b);
+        else
+            outside.push_back(b);
+    }
+    ASSERT_GT(inside.size(), 0u);
+    Octree remote(outside);
+    auto elements = remote.essentialFor(target, 0.5);
+
+    // Compare element-based force against the exact outside-body sum
+    // for a body inside the target box.
+    const Vec3 &at = inside[0].pos;
+    Vec3 approx{0, 0, 0};
+    for (const Element &e : elements)
+        approx += accelerationFrom(at, e, 0.01);
+    Vec3 exact{0, 0, 0};
+    for (const Body &b : outside)
+        exact += accelerationFrom(at, {b.pos, b.mass}, 0.01);
+    Vec3 diff{approx.x - exact.x, approx.y - exact.y,
+              approx.z - exact.z};
+    EXPECT_LT(norm(diff) / norm(exact), 0.05);
+}
+
+TEST(BarnesTree, MortonOrderGroupsNeighbours)
+{
+    auto bodies = makeBodies(512, 17);
+    auto order = mortonOrder(bodies);
+    EXPECT_EQ(order.size(), bodies.size());
+    // Sorted codes must be non-decreasing.
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        EXPECT_LE(mortonCode(bodies[order[i - 1]].pos),
+                  mortonCode(bodies[order[i]].pos));
+    }
+}
+
+core::Scenario
+smallScenario(int clusters, int procs)
+{
+    core::Scenario s;
+    s.clusters = clusters;
+    s.procsPerCluster = procs;
+    s.problemScale = 0.125; // 256 bodies
+    return s;
+}
+
+TEST(BarnesParallel, UnoptimizedVerifies)
+{
+    auto r = run(smallScenario(2, 2), false);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(BarnesParallel, OptimizedVerifies)
+{
+    auto r = run(smallScenario(2, 2), true);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(BarnesParallel, VariantsAgreeBitForBit)
+{
+    // The optimized exchange reorders message arrivals, but forces
+    // are accumulated in source-rank order, so results are identical.
+    auto a = run(smallScenario(2, 4), false);
+    auto b = run(smallScenario(2, 4), true);
+    ASSERT_TRUE(a.verified && b.verified);
+    EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+}
+
+TEST(BarnesParallel, ClusterCombiningCutsWanMessages)
+{
+    core::Scenario s = smallScenario(4, 4);
+    auto unopt = run(s, false);
+    auto opt = run(s, true);
+    ASSERT_TRUE(unopt.verified && opt.verified);
+    // One bundle per (rank, remote cluster) instead of one message
+    // per (rank, remote rank): 3x fewer WAN crossings here.
+    EXPECT_LT(opt.traffic.inter.messages,
+              unopt.traffic.inter.messages / 2);
+}
+
+} // namespace
+} // namespace tli::apps::barnes

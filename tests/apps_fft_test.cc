@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the FFT application: the radix-2 kernel against a naive
+ * DFT, transform properties, and the parallel six-step program.
+ */
+
+#include "apps/fft/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace tli::apps::fft {
+namespace {
+
+Signal
+naiveDft(const Signal &x)
+{
+    const int n = static_cast<int>(x.size());
+    Signal out(n);
+    for (int k = 0; k < n; ++k) {
+        Complex sum{0, 0};
+        for (int m = 0; m < n; ++m) {
+            double angle = -2.0 * std::numbers::pi * m * k / n;
+            sum += x[m] * Complex(std::cos(angle), std::sin(angle));
+        }
+        out[k] = sum;
+    }
+    return out;
+}
+
+TEST(FftKernel, MatchesNaiveDft)
+{
+    for (int n : {2, 8, 64, 256}) {
+        Signal x = makeInput(n, 5);
+        Signal expect = naiveDft(x);
+        fftInPlace(x);
+        for (int k = 0; k < n; ++k) {
+            EXPECT_NEAR(x[k].real(), expect[k].real(), 1e-8)
+                << "n=" << n << " k=" << k;
+            EXPECT_NEAR(x[k].imag(), expect[k].imag(), 1e-8);
+        }
+    }
+}
+
+TEST(FftKernel, ImpulseGivesFlatSpectrum)
+{
+    Signal x(16, Complex(0, 0));
+    x[0] = Complex(1, 0);
+    fftInPlace(x);
+    for (const Complex &c : x) {
+        EXPECT_NEAR(c.real(), 1.0, 1e-12);
+        EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(FftKernel, ParsevalHolds)
+{
+    const int n = 1024;
+    Signal x = makeInput(n, 9);
+    double time_energy = 0;
+    for (const Complex &c : x)
+        time_energy += std::norm(c);
+    fftInPlace(x);
+    double freq_energy = 0;
+    for (const Complex &c : x)
+        freq_energy += std::norm(c);
+    EXPECT_NEAR(freq_energy, n * time_energy, 1e-6 * freq_energy);
+}
+
+TEST(FftKernel, LinearityOfTransform)
+{
+    const int n = 64;
+    Signal a = makeInput(n, 1);
+    Signal b = makeInput(n, 2);
+    Signal sum(n);
+    for (int i = 0; i < n; ++i)
+        sum[i] = a[i] + 2.0 * b[i];
+    fftInPlace(a);
+    fftInPlace(b);
+    fftInPlace(sum);
+    for (int i = 0; i < n; ++i) {
+        Complex expect = a[i] + 2.0 * b[i];
+        EXPECT_NEAR(sum[i].real(), expect.real(), 1e-8);
+        EXPECT_NEAR(sum[i].imag(), expect.imag(), 1e-8);
+    }
+}
+
+TEST(FftKernel, Helpers)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+    EXPECT_EQ(log2OfPow2(1), 0);
+    EXPECT_EQ(log2OfPow2(4096), 12);
+    EXPECT_DOUBLE_EQ(butterflies(16), 32.0);
+}
+
+core::Scenario
+smallScenario(int clusters, int procs)
+{
+    core::Scenario s;
+    s.clusters = clusters;
+    s.procsPerCluster = procs;
+    s.problemScale = 0.01; // n = 2^12
+    return s;
+}
+
+TEST(FftParallel, SixStepVerifiesAgainstDirectFft)
+{
+    auto r = run(smallScenario(2, 2));
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(FftParallel, ManyRanks)
+{
+    auto r = run(smallScenario(4, 8));
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(FftParallel, SingleRankDegenerate)
+{
+    auto r = run(smallScenario(1, 1));
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(r.traffic.inter.messages, 0u);
+}
+
+TEST(FftParallel, TransposeDominatedByBandwidth)
+{
+    core::Scenario fast = smallScenario(2, 4);
+    core::Scenario slow = fast;
+    fast.wanBandwidthMBs = 6.3;
+    slow.wanBandwidthMBs = 0.1;
+    auto rf = run(fast);
+    auto rs = run(slow);
+    ASSERT_TRUE(rf.verified && rs.verified);
+    // FFT is renowned for its communication volume: a 63x bandwidth
+    // cut must hurt badly.
+    EXPECT_GT(rs.runTime, 3 * rf.runTime);
+}
+
+} // namespace
+} // namespace tli::apps::fft

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the per-cluster coordinator cache (the Water optimization).
+ */
+
+#include "core/cluster_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/config.h"
+#include "sim/simulation.h"
+
+namespace tli::core {
+namespace {
+
+using magpie::Vec;
+
+struct World
+{
+    sim::Simulation sim;
+    net::Topology topo;
+    net::Fabric fabric;
+    panda::Panda panda;
+    ClusterCache cache;
+
+    World(int clusters, int procs)
+        : topo(clusters, procs),
+          fabric(sim, topo, net::dasParams(1.0, 10.0)),
+          panda(sim, fabric), cache(panda, 1000)
+    {
+        for (Rank r = 0; r < topo.totalRanks(); ++r)
+            cache.startServers(r);
+    }
+};
+
+TEST(ClusterCache, ServesPublishedData)
+{
+    World w(2, 2);
+    Vec got;
+    auto owner = [&]() -> sim::Task<void> {
+        w.cache.publish(3, 0, Vec{1, 2, 3});
+        co_return;
+    };
+    auto reader = [&]() -> sim::Task<void> {
+        got = co_await w.cache.get(0, 3, 0);
+        w.cache.shutdown(0);
+    };
+    w.sim.spawn(owner());
+    w.sim.spawn(reader());
+    w.sim.run();
+    EXPECT_EQ(got, (Vec{1, 2, 3}));
+}
+
+TEST(ClusterCache, RequestBeforePublishIsParked)
+{
+    World w(2, 2);
+    Vec got;
+    double when = -1;
+    auto reader = [&]() -> sim::Task<void> {
+        got = co_await w.cache.get(0, 3, 7);
+        when = w.sim.now();
+        w.cache.shutdown(0);
+    };
+    auto owner = [&]() -> sim::Task<void> {
+        co_await w.sim.sleep(1.0);
+        w.cache.publish(3, 7, Vec{9});
+    };
+    w.sim.spawn(reader());
+    w.sim.spawn(owner());
+    w.sim.run();
+    EXPECT_EQ(got, (Vec{9}));
+    EXPECT_GE(when, 1.0);
+}
+
+TEST(ClusterCache, OneUpstreamFetchPerClusterPerEpoch)
+{
+    World w(2, 4);
+    // All four ranks of cluster 0 want rank 4's data.
+    w.cache.publish(4, 0, Vec{42});
+    int done = 0;
+    auto reader = [&](Rank self) -> sim::Task<void> {
+        Vec v = co_await w.cache.get(self, 4, 0);
+        EXPECT_EQ(v, (Vec{42}));
+        if (++done == 4)
+            w.cache.shutdown(self);
+    };
+    for (Rank r = 0; r < 4; ++r)
+        w.sim.spawn(reader(r));
+    w.sim.run();
+    EXPECT_EQ(done, 4);
+    // Exactly one fetch crossed to rank 4 from cluster 0's coordinator.
+    EXPECT_EQ(w.cache.upstreamFetches(), 1u);
+}
+
+TEST(ClusterCache, WanTrafficReducedVersusDirect)
+{
+    World w(2, 4);
+    w.cache.publish(4, 0, Vec(100, 1.0));
+    int done = 0;
+    std::uint64_t wan_before_shutdown = 0;
+    auto reader = [&](Rank self) -> sim::Task<void> {
+        (void)co_await w.cache.get(self, 4, 0);
+        if (++done == 4) {
+            wan_before_shutdown = w.fabric.stats().inter.messages;
+            w.cache.shutdown(self);
+        }
+    };
+    for (Rank r = 0; r < 4; ++r)
+        w.sim.spawn(reader(r));
+    w.sim.run();
+    // One WAN request + one WAN reply, not four of each.
+    EXPECT_EQ(wan_before_shutdown, 2u);
+}
+
+TEST(ClusterCache, LocalPeersBypassCoordinator)
+{
+    World w(2, 4);
+    w.cache.publish(1, 0, Vec{5});
+    std::uint64_t wan_before_shutdown = 1;
+    auto reader = [&]() -> sim::Task<void> {
+        Vec v = co_await w.cache.get(0, 1, 0);
+        EXPECT_EQ(v, (Vec{5}));
+        wan_before_shutdown = w.fabric.stats().inter.messages;
+        w.cache.shutdown(0);
+    };
+    w.sim.spawn(reader());
+    w.sim.run();
+    EXPECT_EQ(wan_before_shutdown, 0u);
+    EXPECT_EQ(w.cache.upstreamFetches(), 0u);
+}
+
+TEST(ClusterCache, EpochsAreDistinct)
+{
+    World w(2, 2);
+    w.cache.publish(3, 0, Vec{1});
+    w.cache.publish(3, 1, Vec{2});
+    Vec a, b;
+    auto reader = [&]() -> sim::Task<void> {
+        a = co_await w.cache.get(0, 3, 0);
+        b = co_await w.cache.get(0, 3, 1);
+        w.cache.shutdown(0);
+    };
+    w.sim.spawn(reader());
+    w.sim.run();
+    EXPECT_EQ(a, (Vec{1}));
+    EXPECT_EQ(b, (Vec{2}));
+    EXPECT_EQ(w.cache.upstreamFetches(), 2u);
+}
+
+TEST(ClusterCache, CoordinatorsSpreadAcrossCluster)
+{
+    // Different peers are served by different coordinators, so the
+    // caching load is balanced (Topology::coordinatorFor).
+    World w(2, 4);
+    for (Rank peer = 4; peer < 8; ++peer)
+        w.cache.publish(peer, 0, Vec{1.0 * peer});
+    int done = 0;
+    auto reader = [&](Rank self) -> sim::Task<void> {
+        for (Rank peer = 4; peer < 8; ++peer) {
+            Vec v = co_await w.cache.get(self, peer, 0);
+            EXPECT_EQ(v, (Vec{1.0 * peer}));
+        }
+        if (++done == 4)
+            w.cache.shutdown(self);
+    };
+    for (Rank r = 0; r < 4; ++r)
+        w.sim.spawn(reader(r));
+    w.sim.run();
+    // 4 peers, each fetched once by cluster 0.
+    EXPECT_EQ(w.cache.upstreamFetches(), 4u);
+}
+
+} // namespace
+} // namespace tli::core

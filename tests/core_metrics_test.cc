@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for Scenario, RunResult and the text rendering utilities.
+ */
+
+#include "core/metrics.h"
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tli::core {
+namespace {
+
+TEST(Scenario, FabricParamsFollowConfiguration)
+{
+    Scenario s;
+    s.wanBandwidthMBs = 0.5;
+    s.wanLatencyMs = 30;
+    auto p = s.fabricParams();
+    EXPECT_DOUBLE_EQ(p.wide.bandwidth, 0.5e6);
+    EXPECT_DOUBLE_EQ(p.wide.latency, 30e-3);
+    EXPECT_DOUBLE_EQ(p.local.bandwidth, 50e6);
+}
+
+TEST(Scenario, AllMyrinetUsesFastWideLinks)
+{
+    Scenario s;
+    s.allMyrinet = true;
+    auto p = s.fabricParams();
+    EXPECT_DOUBLE_EQ(p.wide.bandwidth, p.local.bandwidth);
+    EXPECT_DOUBLE_EQ(p.wide.latency, p.local.latency);
+}
+
+TEST(Scenario, DerivedConfigurations)
+{
+    Scenario s;
+    s.clusters = 4;
+    s.procsPerCluster = 8;
+    EXPECT_EQ(s.totalRanks(), 32);
+
+    Scenario m = s.asAllMyrinet();
+    EXPECT_TRUE(m.allMyrinet);
+    EXPECT_EQ(m.totalRanks(), 32);
+
+    Scenario q = s.asSequential();
+    EXPECT_EQ(q.totalRanks(), 1);
+    EXPECT_TRUE(q.allMyrinet);
+}
+
+TEST(Scenario, DescribeIsHumanReadable)
+{
+    Scenario s;
+    s.clusters = 2;
+    s.procsPerCluster = 16;
+    s.wanBandwidthMBs = 0.95;
+    s.wanLatencyMs = 10;
+    EXPECT_EQ(s.describe(), "2x16 wan=0.95MB/s,10ms");
+    EXPECT_EQ(s.asAllMyrinet().describe(), "2x16 all-Myrinet");
+}
+
+TEST(RunResult, TrafficRates)
+{
+    RunResult r;
+    r.runTime = 2.0;
+    r.traffic.inter.bytes = 4'000'000;
+    r.traffic.inter.messages = 1000;
+    r.traffic.interPerCluster.resize(2);
+    r.traffic.interPerCluster[0].bytes = 3'000'000;
+    r.traffic.interPerCluster[0].messages = 600;
+    EXPECT_DOUBLE_EQ(r.interVolumeMBs(), 2.0);
+    EXPECT_DOUBLE_EQ(r.interMsgsPerSec(), 500.0);
+    EXPECT_DOUBLE_EQ(r.interVolumePerClusterMBs(0), 1.5);
+    EXPECT_DOUBLE_EQ(r.interMsgsPerClusterPerSec(0), 300.0);
+    EXPECT_DOUBLE_EQ(r.interVolumePerClusterMBs(5), 0.0);
+}
+
+TEST(RunResult, ZeroRunTimeYieldsZeroRates)
+{
+    RunResult r;
+    EXPECT_DOUBLE_EQ(r.interVolumeMBs(), 0.0);
+    EXPECT_DOUBLE_EQ(r.interMsgsPerSec(), 0.0);
+}
+
+TEST(Surface, PercentRendering)
+{
+    Surface s;
+    s.title = "demo";
+    s.latenciesMs = {0.5, 10};
+    s.bandwidthsMBs = {6.3, 0.1};
+    s.values = {{1.0, 0.5}, {0.25, 0.125}};
+    std::ostringstream os;
+    s.printPercent(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("100.0%"), std::string::npos);
+    EXPECT_NE(out.find("12.5%"), std::string::npos);
+    EXPECT_NE(out.find("0.5ms"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"app", "speedup"});
+    t.addRow({"water", TextTable::num(31.2, 1)});
+    t.addRow({"fft", TextTable::num(32.9, 1)});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("water"), std::string::npos);
+    EXPECT_NE(out.find("31.2"), std::string::npos);
+    EXPECT_NE(out.find("32.9"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(3.14159, 0), "3");
+    EXPECT_EQ(TextTable::num(100, 1), "100.0");
+}
+
+} // namespace
+} // namespace tli::core

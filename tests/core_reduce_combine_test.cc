@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the two-level reducer and the message combiner.
+ */
+
+#include "core/combiner.h"
+#include "core/two_level_reduce.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "net/config.h"
+#include "sim/simulation.h"
+
+namespace tli::core {
+namespace {
+
+using magpie::ReduceOp;
+using magpie::Vec;
+
+struct World
+{
+    sim::Simulation sim;
+    net::Topology topo;
+    net::Fabric fabric;
+    panda::Panda panda;
+
+    World(int clusters, int procs)
+        : topo(clusters, procs),
+          fabric(sim, topo, net::dasParams(1.0, 10.0)),
+          panda(sim, fabric)
+    {
+    }
+};
+
+TEST(TwoLevelReducer, CombinesAcrossClusters)
+{
+    World w(4, 8);
+    TwoLevelReducer red(w.panda, 2000, ReduceOp::sum());
+    for (Rank r = 0; r < 32; ++r)
+        red.startServer(r);
+
+    // Everyone contributes {1, rank} toward rank 0.
+    Vec total;
+    auto contributor = [&](Rank self) -> sim::Task<void> {
+        red.contribute(self, 0, 0, Vec{1.0, 1.0 * self}, 8);
+        co_return;
+    };
+    auto collector = [&]() -> sim::Task<void> {
+        total = co_await red.collect(0, 0, 4);
+        red.shutdown(0);
+    };
+    for (Rank r = 0; r < 32; ++r)
+        w.sim.spawn(contributor(r));
+    w.sim.spawn(collector());
+    w.sim.run();
+    ASSERT_EQ(total.size(), 2u);
+    EXPECT_DOUBLE_EQ(total[0], 32.0);
+    EXPECT_DOUBLE_EQ(total[1], 31.0 * 32.0 / 2.0);
+    // One combined partial per cluster.
+    EXPECT_EQ(red.partialsSent(), 4u);
+}
+
+TEST(TwoLevelReducer, OnePartialCrossesWanPerCluster)
+{
+    World w(4, 8);
+    TwoLevelReducer red(w.panda, 2000, ReduceOp::sum());
+    for (Rank r = 0; r < 32; ++r)
+        red.startServer(r);
+
+    auto contributor = [&](Rank self) -> sim::Task<void> {
+        red.contribute(self, 0, 0, Vec{1.0}, 8);
+        co_return;
+    };
+    std::uint64_t wan_before_shutdown = 0;
+    auto collector = [&]() -> sim::Task<void> {
+        (void)co_await red.collect(0, 0, 4);
+        wan_before_shutdown = w.fabric.stats().inter.messages;
+        red.shutdown(0);
+    };
+    w.fabric.resetStats();
+    for (Rank r = 0; r < 32; ++r)
+        w.sim.spawn(contributor(r));
+    w.sim.spawn(collector());
+    w.sim.run();
+    // 3 remote clusters -> exactly 3 WAN messages (not 24).
+    EXPECT_EQ(wan_before_shutdown, 3u);
+}
+
+TEST(TwoLevelReducer, MultipleDestinationsIndependent)
+{
+    World w(2, 4);
+    TwoLevelReducer red(w.panda, 2000, ReduceOp::sum());
+    for (Rank r = 0; r < 8; ++r)
+        red.startServer(r);
+
+    Vec t0, t5;
+    int done = 0;
+    auto contributor = [&](Rank self) -> sim::Task<void> {
+        red.contribute(self, 0, 0, Vec{1.0}, 4);
+        red.contribute(self, 5, 0, Vec{2.0}, 4);
+        co_return;
+    };
+    auto collect0 = [&]() -> sim::Task<void> {
+        t0 = co_await red.collect(0, 0, 2);
+        if (++done == 2)
+            red.shutdown(0);
+    };
+    auto collect5 = [&]() -> sim::Task<void> {
+        t5 = co_await red.collect(5, 0, 2);
+        if (++done == 2)
+            red.shutdown(5);
+    };
+    for (Rank r = 0; r < 8; ++r)
+        w.sim.spawn(contributor(r));
+    w.sim.spawn(collect0());
+    w.sim.spawn(collect5());
+    w.sim.run();
+    EXPECT_EQ(t0, (Vec{8.0}));
+    EXPECT_EQ(t5, (Vec{16.0}));
+}
+
+TEST(MessageCombiner, BatchesPerDestination)
+{
+    World w(1, 2);
+    MessageCombiner<int>::Config cfg;
+    cfg.maxItems = 10;
+    MessageCombiner<int> comb(w.panda, 3000, cfg);
+
+    std::vector<int> received;
+    int batches = 0;
+    auto receiver = [&]() -> sim::Task<void> {
+        for (;;) {
+            auto batch = co_await comb.recvBatch(1);
+            if (batch.empty())
+                co_return;
+            ++batches;
+            for (int x : batch)
+                received.push_back(x);
+        }
+    };
+    w.sim.spawn(receiver());
+    for (int i = 0; i < 25; ++i)
+        comb.add(0, 1, i);
+    comb.flushAll(0);
+    comb.sendStop(0, 1);
+    w.sim.run();
+    ASSERT_EQ(received.size(), 25u);
+    for (int i = 0; i < 25; ++i)
+        EXPECT_EQ(received[i], i);
+    // 10 + 10 + 5.
+    EXPECT_EQ(batches, 3);
+    EXPECT_EQ(comb.batchesSent(), 3u);
+    EXPECT_EQ(comb.itemsSent(), 25u);
+}
+
+TEST(MessageCombiner, ClusterLayerReducesWanMessages)
+{
+    auto run = [](bool cluster_layer) {
+        World w(2, 4);
+        MessageCombiner<int>::Config cfg;
+        cfg.maxItems = 1000; // no premature flush
+        cfg.clusterLayer = cluster_layer;
+        MessageCombiner<int> comb(w.panda, 3000, cfg);
+        for (Rank r = 0; r < 8; ++r)
+            comb.startForwarder(r);
+
+        int received = 0;
+        auto receiver = [&](Rank self) -> sim::Task<void> {
+            for (;;) {
+                auto batch = co_await comb.recvBatch(self);
+                if (batch.empty())
+                    co_return;
+                received += static_cast<int>(batch.size());
+            }
+        };
+        for (Rank r = 4; r < 8; ++r)
+            w.sim.spawn(receiver(r));
+        // Ranks 0..3 each send 5 items to each of ranks 4..7.
+        for (Rank s = 0; s < 4; ++s) {
+            for (Rank d = 4; d < 8; ++d) {
+                for (int i = 0; i < 5; ++i)
+                    comb.add(s, d, 100 * s + d);
+            }
+            comb.flushAll(s);
+        }
+        w.sim.runUntil(5.0);
+        // Record the WAN message count before the shutdown traffic.
+        auto wan_messages = w.fabric.stats().inter.messages;
+        EXPECT_EQ(received, 4 * 4 * 5);
+        for (Rank d = 4; d < 8; ++d)
+            comb.sendStop(0, d);
+        comb.shutdownForwarders(0);
+        w.sim.run();
+        return wan_messages;
+    };
+    auto direct = run(false);
+    auto layered = run(true);
+    // Direct: one batch per (sender, dest) pair = 16 WAN messages.
+    // Layered: one batch per (sender, cluster) = 4 WAN messages.
+    EXPECT_EQ(direct, 16u);
+    EXPECT_EQ(layered, 4u);
+}
+
+TEST(MessageCombiner, ItemsSurviveForwarderIntact)
+{
+    World w(2, 2);
+    MessageCombiner<std::pair<int, int>>::Config cfg;
+    cfg.maxItems = 4;
+    cfg.clusterLayer = true;
+    MessageCombiner<std::pair<int, int>> comb(w.panda, 3000, cfg);
+    for (Rank r = 0; r < 4; ++r)
+        comb.startForwarder(r);
+
+    std::multiset<std::pair<int, int>> got;
+    auto receiver = [&](Rank self) -> sim::Task<void> {
+        for (;;) {
+            auto batch = co_await comb.recvBatch(self);
+            if (batch.empty())
+                co_return;
+            for (auto &it : batch)
+                got.insert(it);
+        }
+    };
+    w.sim.spawn(receiver(2));
+    w.sim.spawn(receiver(3));
+    for (int i = 0; i < 6; ++i) {
+        comb.add(0, 2, {i, 2});
+        comb.add(0, 3, {i, 3});
+    }
+    comb.flushAll(0);
+    w.sim.runUntil(5.0);
+    comb.sendStop(0, 2);
+    comb.sendStop(0, 3);
+    comb.shutdownForwarders(0);
+    w.sim.run();
+    EXPECT_EQ(got.size(), 12u);
+    for (int i = 0; i < 6; ++i) {
+        EXPECT_TRUE(got.count({i, 2}) == 1);
+        EXPECT_TRUE(got.count({i, 3}) == 1);
+    }
+}
+
+} // namespace
+} // namespace tli::core

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the centralized and distributed (cluster + stealing) work
+ * queues.
+ */
+
+#include "core/work_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "net/config.h"
+#include "sim/simulation.h"
+
+namespace tli::core {
+namespace {
+
+struct World
+{
+    sim::Simulation sim;
+    net::Topology topo;
+    net::Fabric fabric;
+    panda::Panda panda;
+
+    World(int clusters, int procs)
+        : topo(clusters, procs),
+          fabric(sim, topo, net::dasParams(1.0, 5.0)),
+          panda(sim, fabric)
+    {
+    }
+};
+
+TEST(CentralWorkQueue, AllJobsConsumedExactlyOnce)
+{
+    World w(2, 4);
+    CentralWorkQueue<int> q(w.panda, 4000, 0, 64);
+    std::vector<int> jobs(100);
+    std::iota(jobs.begin(), jobs.end(), 0);
+    q.fill(jobs);
+    q.start();
+
+    std::multiset<int> seen;
+    int done = 0;
+    auto worker = [&](Rank self) -> sim::Task<void> {
+        for (;;) {
+            auto job = co_await q.get(self);
+            if (!job)
+                break;
+            seen.insert(*job);
+        }
+        if (++done == 8)
+            q.shutdown(self);
+    };
+    for (Rank r = 0; r < 8; ++r)
+        w.sim.spawn(worker(r));
+    w.sim.run();
+    EXPECT_EQ(done, 8);
+    ASSERT_EQ(seen.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(seen.count(i), 1u) << i;
+}
+
+TEST(CentralWorkQueue, RemoteWorkersPayWanPerFetch)
+{
+    World w(2, 2);
+    CentralWorkQueue<int> q(w.panda, 4000, 0, 64);
+    q.fill({1, 2, 3, 4});
+    q.start();
+    int got = 0;
+    std::uint64_t wan_before_shutdown = 0;
+    auto worker = [&](Rank self) -> sim::Task<void> {
+        for (;;) {
+            auto job = co_await q.get(self);
+            if (!job)
+                break;
+            ++got;
+        }
+        wan_before_shutdown = w.fabric.stats().inter.messages;
+        q.shutdown(self);
+    };
+    // Single worker in the remote cluster.
+    w.sim.spawn(worker(2));
+    w.sim.run();
+    EXPECT_EQ(got, 4);
+    // 5 requests (4 jobs + empty) x 2 directions.
+    EXPECT_EQ(wan_before_shutdown, 10u);
+}
+
+TEST(DistributedWorkQueue, AllJobsConsumedAcrossClusters)
+{
+    World w(4, 2);
+    DistributedWorkQueue<int> q(w.panda, 4000, 64);
+    for (Rank r = 0; r < 8; ++r)
+        q.startServers(r);
+
+    std::multiset<int> seen;
+    int done = 0;
+    auto master = [&]() -> sim::Task<void> {
+        std::vector<int> jobs(60);
+        std::iota(jobs.begin(), jobs.end(), 0);
+        co_await q.fillFrom(0, std::move(jobs));
+        // Workers start after the fill completes.
+        auto worker = [&](Rank self) -> sim::Task<void> {
+            for (;;) {
+                auto job = co_await q.get(self);
+                if (!job)
+                    break;
+                seen.insert(*job);
+                co_await w.sim.sleep(0.001);
+            }
+            if (++done == 8)
+                q.shutdown(self);
+        };
+        for (Rank r = 0; r < 8; ++r)
+            w.sim.spawn(worker(r));
+    };
+    w.sim.spawn(master());
+    w.sim.run();
+    EXPECT_EQ(done, 8);
+    ASSERT_EQ(seen.size(), 60u);
+    for (int i = 0; i < 60; ++i)
+        EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(DistributedWorkQueue, LocalFetchesStayLocal)
+{
+    World w(2, 2);
+    DistributedWorkQueue<int> q(w.panda, 4000, 64);
+    for (Rank r = 0; r < 4; ++r)
+        q.startServers(r);
+
+    auto master = [&]() -> sim::Task<void> {
+        std::vector<int> jobs(40);
+        std::iota(jobs.begin(), jobs.end(), 0);
+        co_await q.fillFrom(0, std::move(jobs));
+        w.fabric.resetStats();
+        // Balanced load: every worker only consumes its cluster's jobs.
+        int done = 0;
+        auto worker = [&, done](Rank self) mutable -> sim::Task<void> {
+            for (int i = 0; i < 10; ++i) {
+                auto job = co_await q.get(self);
+                EXPECT_TRUE(job.has_value());
+                co_await w.sim.sleep(0.001);
+            }
+            co_return;
+        };
+        for (Rank r = 0; r < 4; ++r)
+            w.sim.spawn(worker(r));
+    };
+    w.sim.spawn(master());
+    w.sim.run();
+    // 40 jobs split 20/20; each cluster consumes its own: no WAN.
+    EXPECT_EQ(w.fabric.stats().inter.messages, 0u);
+    EXPECT_EQ(q.stealsAttempted(), 0u);
+}
+
+TEST(DistributedWorkQueue, StealingRebalancesSkewedLoad)
+{
+    World w(2, 2);
+    DistributedWorkQueue<int> q(w.panda, 4000, 64);
+    for (Rank r = 0; r < 4; ++r)
+        q.startServers(r);
+
+    std::multiset<int> seen;
+    int done = 0;
+    auto master = [&]() -> sim::Task<void> {
+        // All jobs land in cluster 0 (round-robin over 1 cluster
+        // worth of entries): fill only cluster 0 by using local push
+        // semantics — emulate skew by filling from rank 0 with jobs
+        // only for cluster 0 via an uneven list.
+        std::vector<int> jobs(30);
+        std::iota(jobs.begin(), jobs.end(), 0);
+        // fillFrom round-robins; to force skew, fill twice with
+        // cluster-0-only batches is not supported, so instead start
+        // only cluster-1 workers: they must steal everything.
+        co_await q.fillFrom(0, std::move(jobs));
+        auto worker = [&](Rank self) -> sim::Task<void> {
+            for (;;) {
+                auto job = co_await q.get(self);
+                if (!job)
+                    break;
+                seen.insert(*job);
+            }
+            if (++done == 2)
+                q.shutdown(self);
+        };
+        // Only the remote cluster's workers run.
+        w.sim.spawn(worker(2));
+        w.sim.spawn(worker(3));
+    };
+    w.sim.spawn(master());
+    w.sim.run();
+    EXPECT_EQ(done, 2);
+    ASSERT_EQ(seen.size(), 30u);
+    EXPECT_GT(q.stealsSucceeded(), 0u);
+}
+
+TEST(DistributedWorkQueue, TerminatesWhenEverythingEmpty)
+{
+    World w(4, 2);
+    DistributedWorkQueue<int> q(w.panda, 4000, 64);
+    for (Rank r = 0; r < 8; ++r)
+        q.startServers(r);
+    int nullopts = 0;
+    auto worker = [&](Rank self) -> sim::Task<void> {
+        auto job = co_await q.get(self);
+        if (!job)
+            ++nullopts;
+        if (nullopts == 8)
+            q.shutdown(self);
+    };
+    for (Rank r = 0; r < 8; ++r)
+        w.sim.spawn(worker(r));
+    w.sim.run();
+    EXPECT_EQ(nullopts, 8);
+}
+
+} // namespace
+} // namespace tli::core

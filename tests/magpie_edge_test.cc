@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Edge cases for the collective library: empty payloads, degenerate
+ * machines, operator algebra, wire-size accounting, and payload-size
+ * parameterized equivalence between the two algorithm families.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "magpie/communicator.h"
+#include "net/config.h"
+#include "sim/simulation.h"
+
+namespace tli::magpie {
+namespace {
+
+struct World
+{
+    sim::Simulation sim;
+    net::Topology topo;
+    net::Fabric fabric;
+    panda::Panda panda;
+    Communicator comm;
+
+    World(int clusters, int procs, Algorithm alg)
+        : topo(clusters, procs),
+          fabric(sim, topo, net::dasParams(6.0, 1.0)),
+          panda(sim, fabric), comm(panda, alg)
+    {
+    }
+};
+
+TEST(MagpieEdge, EmptyVectorBroadcast)
+{
+    for (auto alg : {Algorithm::flat, Algorithm::magpie}) {
+        World w(2, 2, alg);
+        int empties = 0;
+        auto proc = [&](Rank self) -> sim::Task<void> {
+            Vec out = co_await w.comm.bcast(self, 0, Vec{});
+            if (out.empty())
+                ++empties;
+        };
+        for (Rank r = 0; r < 4; ++r)
+            w.sim.spawn(proc(r));
+        w.sim.run();
+        EXPECT_EQ(empties, 4);
+    }
+}
+
+TEST(MagpieEdge, SingleRankDegenerateOps)
+{
+    for (auto alg : {Algorithm::flat, Algorithm::magpie}) {
+        World w(1, 1, alg);
+        bool ok = false;
+        auto proc = [&]() -> sim::Task<void> {
+            co_await w.comm.barrier(0);
+            Vec bin{1, 2};
+            Vec b = co_await w.comm.bcast(0, 0, std::move(bin));
+            Vec contrib{3.0};
+            Vec r = co_await w.comm.allreduce(0, std::move(contrib),
+                                              ReduceOp::sum());
+            Vec gin{4.0};
+            Table t = co_await w.comm.allgather(0, std::move(gin));
+            Table a2a(1, Vec{5.0});
+            Table x = co_await w.comm.alltoall(0, std::move(a2a));
+            Vec sin{6.0};
+            Vec s = co_await w.comm.scan(0, std::move(sin),
+                                         ReduceOp::sum());
+            ok = b == Vec{1, 2} && r == Vec{3.0} &&
+                 t == Table{Vec{4.0}} && x == Table{Vec{5.0}} &&
+                 s == Vec{6.0};
+        };
+        w.sim.spawn(proc());
+        w.sim.run();
+        EXPECT_TRUE(ok) << algorithmName(alg);
+        EXPECT_EQ(w.fabric.stats().inter.messages, 0u);
+        EXPECT_EQ(w.fabric.stats().intra.messages, 0u);
+    }
+}
+
+TEST(MagpieEdge, ProductAndMinMaxOperators)
+{
+    World w(2, 2, Algorithm::magpie);
+    Vec prod_result;
+    auto proc = [&](Rank self) -> sim::Task<void> {
+        Vec contrib{self + 1.0};
+        Vec p = co_await w.comm.allreduce(self, std::move(contrib),
+                                          ReduceOp::prod());
+        if (self == 0)
+            prod_result = p;
+    };
+    for (Rank r = 0; r < 4; ++r)
+        w.sim.spawn(proc(r));
+    w.sim.run();
+    EXPECT_EQ(prod_result, Vec{24.0}); // 1*2*3*4
+}
+
+TEST(MagpieEdge, WireSizeAccounting)
+{
+    EXPECT_EQ(wireSize(Vec{}), 0u);
+    EXPECT_EQ(wireSize(Vec{1, 2, 3}), 24u);
+    // 3 rows of 8 B framing + 3 doubles of data.
+    EXPECT_EQ(wireSize(Table{{1.0}, {}, {2.0, 3.0}}), 24u + 24u);
+    EXPECT_EQ(wireSize(LabelledVec{0, {1.0}}), 16u);
+    RoutedVec rv{0, 1, {1.0, 2.0}};
+    EXPECT_EQ(wireSize(rv), 32u);
+    EXPECT_EQ(wireSize(Bundle{{0, {1.0}}, {1, {}}}), 24u);
+}
+
+TEST(MagpieEdge, ReduceOpCombineChecksShapes)
+{
+    ReduceOp sum = ReduceOp::sum();
+    Vec a{1, 2};
+    sum.combine(a, Vec{3, 4});
+    EXPECT_EQ(a, (Vec{4, 6}));
+    Table t{{1.0}, {2.0}};
+    sum.combine(t, Table{{10.0}, {20.0}});
+    EXPECT_EQ(t, (Table{{11.0}, {22.0}}));
+}
+
+/** Payload sizes for the family-equivalence sweep. */
+class FamilyEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FamilyEquivalence, FlatAndMagpieComputeIdenticalSums)
+{
+    const int elems = GetParam();
+    auto total = [&](Algorithm alg) {
+        World w(3, 3, alg);
+        auto result = std::make_shared<Vec>();
+        auto proc = [&w, result, elems](Rank self) -> sim::Task<void> {
+            Vec contrib(elems, self + 0.5);
+            Vec sum = co_await w.comm.allreduce(self,
+                                                std::move(contrib),
+                                                ReduceOp::sum());
+            if (self == 0)
+                *result = sum;
+        };
+        for (Rank r = 0; r < 9; ++r)
+            w.sim.spawn(proc(r));
+        w.sim.run();
+        return *result;
+    };
+    Vec flat = total(Algorithm::flat);
+    Vec magpie = total(Algorithm::magpie);
+    ASSERT_EQ(flat.size(), static_cast<std::size_t>(elems));
+    // Sums of identical values: order-independent, so exactly equal.
+    EXPECT_EQ(flat, magpie);
+    for (double v : flat)
+        EXPECT_DOUBLE_EQ(v, 9 * 0.5 + (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7 +
+                                       8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FamilyEquivalence,
+                         ::testing::Values(1, 16, 1024));
+
+} // namespace
+} // namespace tli::magpie

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for wide-area latency variability (the paper's future-work
+ * extension): distribution bounds, reproducibility, per-pair ordering
+ * (TCP semantics), and end-to-end application behaviour under jitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/registry.h"
+#include "net/config.h"
+#include "net/fabric.h"
+#include "sim/simulation.h"
+
+namespace tli::net {
+namespace {
+
+FabricParams
+jitteryParams(double jitter, std::uint64_t seed = 7)
+{
+    FabricParams p = dasParams(1.0, 10.0);
+    p.wanJitter = jitter;
+    p.jitterSeed = seed;
+    return p;
+}
+
+TEST(WanJitter, ZeroJitterIsExactlyDeterministicBaseline)
+{
+    for (int trial = 0; trial < 2; ++trial) {
+        sim::Simulation sim;
+        Fabric fab(sim, Topology(2, 1), jitteryParams(0.0));
+        double arrival = -1;
+        fab.send(0, 1, 100, [&] { arrival = sim.now(); });
+        sim.run();
+        // One-way 10 ms plus serialization terms, no randomness.
+        EXPECT_GT(arrival, 10e-3);
+        EXPECT_LT(arrival, 12e-3);
+    }
+}
+
+TEST(WanJitter, ArrivalsStayWithinJitterBounds)
+{
+    sim::Simulation sim;
+    Fabric fab(sim, Topology(2, 1), jitteryParams(0.5));
+    std::vector<double> gaps;
+    double prev_send = 0;
+    for (int i = 0; i < 200; ++i) {
+        double sent_at = prev_send;
+        sim.schedule(sent_at, [&, i] {
+            fab.send(0, 1, 10, [&, t0 = sim.now()] {
+                gaps.push_back(sim.now() - t0);
+            });
+        });
+        prev_send += 0.1; // far apart: no queueing, no ordering clamp
+    }
+    sim.run();
+    ASSERT_EQ(gaps.size(), 200u);
+    double lo = 1e9, hi = 0, mean = 0;
+    for (double g : gaps) {
+        lo = std::min(lo, g);
+        hi = std::max(hi, g);
+        mean += g;
+    }
+    mean /= gaps.size();
+    // latency 10 ms +- 50%, plus small serialization terms.
+    EXPECT_GE(lo, 0.005);
+    EXPECT_LE(hi, 0.0155);
+    EXPECT_NEAR(mean, 0.0103, 0.001);
+    EXPECT_GT(hi - lo, 0.005); // it actually varies
+}
+
+TEST(WanJitter, SameSeedSameArrivals)
+{
+    auto sample = [](std::uint64_t seed) {
+        sim::Simulation sim;
+        Fabric fab(sim, Topology(2, 1), jitteryParams(0.4, seed));
+        std::vector<double> arrivals;
+        for (int i = 0; i < 50; ++i)
+            fab.send(0, 1, 10, [&] { arrivals.push_back(sim.now()); });
+        sim.run();
+        return arrivals;
+    };
+    EXPECT_EQ(sample(11), sample(11));
+    EXPECT_NE(sample(11), sample(12));
+}
+
+TEST(WanJitter, PerPairDeliveryOrderPreserved)
+{
+    // TCP semantics: even with heavy jitter, messages between one
+    // (src, dst) pair arrive in the order they were sent.
+    sim::Simulation sim;
+    Fabric fab(sim, Topology(2, 1), jitteryParams(0.9));
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i)
+        fab.send(0, 1, 10, [&, i] { order.push_back(i); });
+    sim.run();
+    ASSERT_EQ(order.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(WanJitter, IntraClusterTrafficUnaffected)
+{
+    sim::Simulation sim;
+    Fabric fab(sim, Topology(1, 2), jitteryParams(0.9));
+    std::vector<double> arrivals;
+    for (int i = 0; i < 20; ++i)
+        fab.send(0, 1, 100, [&] { arrivals.push_back(sim.now()); });
+    sim.run();
+    // Perfectly regular spacing: jitter only touches the wide area.
+    for (std::size_t i = 2; i < arrivals.size(); ++i) {
+        EXPECT_NEAR(arrivals[i] - arrivals[i - 1],
+                    arrivals[1] - arrivals[0], 1e-12);
+    }
+}
+
+TEST(WanJitter, ApplicationsStillVerifyUnderJitter)
+{
+    for (auto &v : apps::bestVariants()) {
+        core::Scenario s;
+        s.clusters = 2;
+        s.procsPerCluster = 2;
+        s.wanLatencyMs = 10;
+        s.wanJitterFraction = 0.5;
+        s.problemScale = 0.05;
+        core::RunResult r = v.run(s);
+        EXPECT_TRUE(r.verified) << v.fullName();
+    }
+}
+
+TEST(WanJitter, JitterCostsPerformanceForSynchronousApps)
+{
+    // Latency variation hurts programs whose critical path crosses
+    // the wide area every step (ASP): the slowest draw gates
+    // progress while fast draws cannot be banked.
+    core::Scenario base;
+    base.clusters = 4;
+    base.procsPerCluster = 2;
+    base.wanLatencyMs = 30;
+    base.problemScale = 0.05;
+    auto v = apps::findVariant("asp", "unopt");
+    double steady = v.run(base).runTime;
+    core::Scenario wobbly = base;
+    wobbly.wanJitterFraction = 0.8;
+    double jittered = v.run(wobbly).runTime;
+    // Mean latency is identical; variation alone should not help.
+    EXPECT_GT(jittered, 0.95 * steady);
+}
+
+} // namespace
+} // namespace tli::net

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the serializing link model.
+ */
+
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+namespace tli::net {
+namespace {
+
+LinkParams
+params(double lat, double bw, double permsg)
+{
+    LinkParams p;
+    p.latency = lat;
+    p.bandwidth = bw;
+    p.perMessageCost = permsg;
+    return p;
+}
+
+TEST(Link, IdleDeliveryTime)
+{
+    Link link(params(0.010, 1e6, 0.001));
+    // 1000 bytes at 1 MB/s = 1 ms serialization + 1 ms per-msg + 10 ms.
+    Time t = link.transmit(0.0, 1000);
+    EXPECT_DOUBLE_EQ(t, 0.001 + 0.001 + 0.010);
+}
+
+TEST(Link, BackToBackSerializes)
+{
+    Link link(params(0.010, 1e6, 0.0));
+    Time t1 = link.transmit(0.0, 1000); // busy until 1 ms
+    Time t2 = link.transmit(0.0, 1000); // starts at 1 ms
+    EXPECT_DOUBLE_EQ(t1, 0.001 + 0.010);
+    EXPECT_DOUBLE_EQ(t2, 0.002 + 0.010);
+    EXPECT_DOUBLE_EQ(link.busyUntil(), 0.002);
+}
+
+TEST(Link, IdleGapResetsStart)
+{
+    Link link(params(0.0, 1e6, 0.0));
+    link.transmit(0.0, 1000);          // busy until 1 ms
+    Time t = link.transmit(5.0, 1000); // link long idle
+    EXPECT_DOUBLE_EQ(t, 5.001);
+}
+
+TEST(Link, LatencyIsPipelined)
+{
+    // Two messages: latency contributes once per message, not
+    // cumulatively to the link occupancy.
+    Link link(params(1.0, 1e6, 0.0));
+    Time t1 = link.transmit(0.0, 1000);
+    Time t2 = link.transmit(0.0, 1000);
+    EXPECT_DOUBLE_EQ(t1, 0.001 + 1.0);
+    EXPECT_DOUBLE_EQ(t2, 0.002 + 1.0);
+}
+
+TEST(Link, StatsAccumulate)
+{
+    Link link(params(0.0, 1e6, 0.001));
+    link.transmit(0.0, 500);
+    link.transmit(0.0, 1500);
+    EXPECT_EQ(link.stats().messages, 2u);
+    EXPECT_EQ(link.stats().bytes, 2000u);
+    EXPECT_DOUBLE_EQ(link.stats().busyTime, 0.002 + 0.002);
+}
+
+TEST(Link, ZeroByteMessageCostsPerMessageOnly)
+{
+    Link link(params(0.5, 1e6, 0.002));
+    Time t = link.transmit(1.0, 0);
+    EXPECT_DOUBLE_EQ(t, 1.0 + 0.002 + 0.5);
+}
+
+TEST(Link, ThroughputMatchesBandwidth)
+{
+    // Saturating the link: n messages of s bytes take n*s/bw occupancy.
+    Link link(params(0.1, 2e6, 0.0));
+    Time last = 0;
+    for (int i = 0; i < 100; ++i)
+        last = link.transmit(0.0, 10000);
+    // 1e6 bytes at 2 MB/s = 0.5 s + 0.1 latency for the last one.
+    EXPECT_DOUBLE_EQ(last, 0.5 + 0.1);
+    EXPECT_DOUBLE_EQ(link.stats().busyTime, 0.5);
+}
+
+TEST(LinkStats, Accumulation)
+{
+    LinkStats a;
+    LinkStats b;
+    a.messages = 3;
+    a.bytes = 100;
+    a.busyTime = 0.5;
+    b.messages = 2;
+    b.bytes = 50;
+    b.busyTime = 0.25;
+    a += b;
+    EXPECT_EQ(a.messages, 5u);
+    EXPECT_EQ(a.bytes, 150u);
+    EXPECT_DOUBLE_EQ(a.busyTime, 0.75);
+}
+
+} // namespace
+} // namespace tli::net

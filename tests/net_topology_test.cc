@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the two-layer topology description.
+ */
+
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace tli::net {
+namespace {
+
+TEST(Topology, BasicShape)
+{
+    Topology t(4, 8);
+    EXPECT_EQ(t.clusterCount(), 4);
+    EXPECT_EQ(t.procsPerCluster(), 8);
+    EXPECT_EQ(t.totalRanks(), 32);
+}
+
+TEST(Topology, BlockwiseClusterAssignment)
+{
+    Topology t(4, 8);
+    EXPECT_EQ(t.clusterOf(0), 0);
+    EXPECT_EQ(t.clusterOf(7), 0);
+    EXPECT_EQ(t.clusterOf(8), 1);
+    EXPECT_EQ(t.clusterOf(31), 3);
+}
+
+TEST(Topology, SameCluster)
+{
+    Topology t(2, 4);
+    EXPECT_TRUE(t.sameCluster(0, 3));
+    EXPECT_FALSE(t.sameCluster(3, 4));
+    EXPECT_TRUE(t.sameCluster(5, 5));
+}
+
+TEST(Topology, FirstRankAndIndex)
+{
+    Topology t(4, 8);
+    EXPECT_EQ(t.firstRankIn(0), 0);
+    EXPECT_EQ(t.firstRankIn(3), 24);
+    EXPECT_EQ(t.indexInCluster(0), 0);
+    EXPECT_EQ(t.indexInCluster(9), 1);
+    EXPECT_EQ(t.indexInCluster(31), 7);
+}
+
+TEST(Topology, RanksInCluster)
+{
+    Topology t(3, 2);
+    auto r = t.ranksInCluster(1);
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0], 2);
+    EXPECT_EQ(r[1], 3);
+}
+
+TEST(Topology, CoordinatorSpreadsOverCluster)
+{
+    Topology t(4, 8);
+    // Coordinators for distinct peers cycle over the cluster members.
+    EXPECT_EQ(t.coordinatorFor(0, 8), 0);
+    EXPECT_EQ(t.coordinatorFor(0, 9), 1);
+    EXPECT_EQ(t.coordinatorFor(0, 15), 7);
+    EXPECT_EQ(t.coordinatorFor(0, 16), 0);
+    // Coordinator is always inside the requested cluster.
+    for (Rank peer = 8; peer < 32; ++peer) {
+        Rank c = t.coordinatorFor(0, peer);
+        EXPECT_EQ(t.clusterOf(c), 0);
+    }
+}
+
+TEST(Topology, SingleClusterDegenerate)
+{
+    Topology t(1, 32);
+    EXPECT_EQ(t.totalRanks(), 32);
+    for (Rank r = 0; r < 32; ++r)
+        EXPECT_EQ(t.clusterOf(r), 0);
+}
+
+TEST(Topology, ManySmallClusters)
+{
+    Topology t(8, 4);
+    EXPECT_EQ(t.totalRanks(), 32);
+    EXPECT_EQ(t.clusterOf(31), 7);
+    EXPECT_EQ(t.firstRankIn(7), 28);
+}
+
+} // namespace
+} // namespace tli::net

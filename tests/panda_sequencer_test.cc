@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the migrating sequencer service.
+ */
+
+#include "panda/sequencer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/config.h"
+#include "sim/simulation.h"
+
+namespace tli::panda {
+namespace {
+
+struct World
+{
+    sim::Simulation sim;
+    net::Topology topo;
+    net::Fabric fabric;
+    Panda panda;
+
+    World(int clusters, int procs)
+        : topo(clusters, procs),
+          fabric(sim, topo, net::dasParams(6.0, 10.0)),
+          panda(sim, fabric)
+    {
+    }
+};
+
+TEST(Sequencer, HandsOutConsecutiveNumbers)
+{
+    World w(2, 2);
+    SequencerService seq(w.panda, 100, 0);
+    for (Rank r = 0; r < 4; ++r)
+        seq.startServer(r);
+
+    std::vector<std::int64_t> got;
+    auto client = [&]() -> sim::Task<void> {
+        for (int i = 0; i < 5; ++i)
+            got.push_back(co_await seq.acquire(1, 0));
+        seq.shutdown(1);
+    };
+    w.sim.spawn(client());
+    w.sim.run();
+    EXPECT_EQ(got, (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(seq.issued(), 5);
+}
+
+TEST(Sequencer, ConcurrentClientsGetUniqueNumbers)
+{
+    World w(2, 4);
+    SequencerService seq(w.panda, 100, 0);
+    for (Rank r = 0; r < 8; ++r)
+        seq.startServer(r);
+
+    std::vector<std::int64_t> all;
+    int done = 0;
+    auto client = [&](Rank self) -> sim::Task<void> {
+        for (int i = 0; i < 8; ++i)
+            all.push_back(co_await seq.acquire(self, 0));
+        if (++done == 7)
+            seq.shutdown(self);
+    };
+    for (Rank r = 1; r < 8; ++r)
+        w.sim.spawn(client(r));
+    w.sim.run();
+    ASSERT_EQ(all.size(), 56u);
+    std::sort(all.begin(), all.end());
+    for (int i = 0; i < 56; ++i)
+        EXPECT_EQ(all[i], i);
+}
+
+TEST(Sequencer, MigrationPreservesCounter)
+{
+    World w(2, 2);
+    SequencerService seq(w.panda, 100, 0);
+    for (Rank r = 0; r < 4; ++r)
+        seq.startServer(r);
+
+    std::vector<std::int64_t> got;
+    auto client = [&]() -> sim::Task<void> {
+        got.push_back(co_await seq.acquire(3, 0));
+        got.push_back(co_await seq.acquire(3, 0));
+        co_await seq.migrate(3, 0, 2);
+        got.push_back(co_await seq.acquire(3, 2));
+        got.push_back(co_await seq.acquire(3, 2));
+        seq.shutdown(3);
+    };
+    w.sim.spawn(client());
+    w.sim.run();
+    EXPECT_EQ(got, (std::vector<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(Sequencer, RequestRacingMigrationIsBuffered)
+{
+    // A request sent to the new host before its activation message
+    // arrives must still be answered (after activation).
+    World w(2, 2);
+    SequencerService seq(w.panda, 100, 0);
+    for (Rank r = 0; r < 4; ++r)
+        seq.startServer(r);
+
+    std::int64_t racing = -1;
+    auto migrator = [&]() -> sim::Task<void> {
+        (void)co_await seq.acquire(1, 0);
+        co_await seq.migrate(1, 0, 2);
+        // migrate() returns when the old host relinquished; the
+        // activation message may still be in flight to rank 2.
+    };
+    auto racer = [&]() -> sim::Task<void> {
+        // Same-cluster request to rank 2 arrives before the
+        // cross-cluster activation from rank 0.
+        co_await w.sim.sleep(0.5);
+        racing = co_await seq.acquire(3, 2);
+        seq.shutdown(3);
+    };
+    w.sim.spawn(migrator());
+    w.sim.spawn(racer());
+    w.sim.run();
+    EXPECT_EQ(racing, 1);
+}
+
+TEST(Sequencer, MigrationMovesTrafficOffWan)
+{
+    // After migrating the sequencer into the client's cluster,
+    // acquire() no longer generates inter-cluster messages.
+    World w(2, 2);
+    SequencerService seq(w.panda, 100, 0);
+    for (Rank r = 0; r < 4; ++r)
+        seq.startServer(r);
+
+    auto client = [&]() -> sim::Task<void> {
+        (void)co_await seq.acquire(2, 0); // cross-cluster
+        co_await seq.migrate(2, 0, 2);
+        w.fabric.resetStats();
+        for (int i = 0; i < 10; ++i)
+            (void)co_await seq.acquire(3, 2); // now intra-cluster
+        EXPECT_EQ(w.fabric.stats().inter.messages, 0u);
+        seq.shutdown(2);
+    };
+    w.sim.spawn(client());
+    w.sim.run();
+    EXPECT_EQ(seq.issued(), 11);
+}
+
+} // namespace
+} // namespace tli::panda

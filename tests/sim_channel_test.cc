@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the awaitable FIFO channel.
+ */
+
+#include "sim/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace tli::sim {
+namespace {
+
+TEST(Channel, TryRecvOnEmpty)
+{
+    Simulation sim;
+    Channel<int> ch(sim);
+    EXPECT_TRUE(ch.empty());
+    EXPECT_FALSE(ch.tryRecv().has_value());
+}
+
+TEST(Channel, SendThenRecvImmediate)
+{
+    Simulation sim;
+    Channel<int> ch(sim);
+    ch.send(42);
+    EXPECT_EQ(ch.size(), 1u);
+    std::vector<int> got;
+    auto reader = [&]() -> Task<void> { got.push_back(co_await ch.recv()); };
+    sim.spawn(reader());
+    sim.run();
+    EXPECT_EQ(got, std::vector<int>{42});
+}
+
+TEST(Channel, RecvBlocksUntilSend)
+{
+    Simulation sim;
+    Channel<std::string> ch(sim);
+    std::string got;
+    double when = -1;
+    auto reader = [&]() -> Task<void> {
+        got = co_await ch.recv();
+        when = sim.now();
+    };
+    auto writer = [&]() -> Task<void> {
+        co_await sim.sleep(5.0);
+        ch.send("hello");
+    };
+    sim.spawn(reader());
+    sim.spawn(writer());
+    sim.run();
+    EXPECT_EQ(got, "hello");
+    EXPECT_DOUBLE_EQ(when, 5.0);
+}
+
+TEST(Channel, FifoOrderPreserved)
+{
+    Simulation sim;
+    Channel<int> ch(sim);
+    std::vector<int> got;
+    auto reader = [&]() -> Task<void> {
+        for (int i = 0; i < 100; ++i)
+            got.push_back(co_await ch.recv());
+    };
+    sim.spawn(reader());
+    for (int i = 0; i < 100; ++i)
+        ch.send(i);
+    sim.run();
+    ASSERT_EQ(got.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(got[i], i);
+}
+
+TEST(Channel, MultipleConsumersServedInParkOrder)
+{
+    Simulation sim;
+    Channel<int> ch(sim);
+    std::vector<std::pair<int, int>> got; // (consumer, value)
+    auto reader = [&](int id) -> Task<void> {
+        int v = co_await ch.recv();
+        got.emplace_back(id, v);
+    };
+    sim.spawn(reader(0));
+    sim.spawn(reader(1));
+    sim.spawn(reader(2));
+    auto writer = [&]() -> Task<void> {
+        co_await sim.sleep(1.0);
+        ch.send(100);
+        ch.send(101);
+        ch.send(102);
+    };
+    sim.spawn(writer());
+    sim.run();
+    ASSERT_EQ(got.size(), 3u);
+    // Consumers parked in spawn order get values in send order.
+    EXPECT_EQ(got[0], (std::pair<int, int>{0, 100}));
+    EXPECT_EQ(got[1], (std::pair<int, int>{1, 101}));
+    EXPECT_EQ(got[2], (std::pair<int, int>{2, 102}));
+}
+
+TEST(Channel, ProducerConsumerPipelined)
+{
+    Simulation sim;
+    Channel<int> ch(sim);
+    long sum = 0;
+    auto producer = [&]() -> Task<void> {
+        for (int i = 1; i <= 1000; ++i) {
+            co_await sim.sleep(0.01);
+            ch.send(i);
+        }
+    };
+    auto consumer = [&]() -> Task<void> {
+        for (int i = 0; i < 1000; ++i)
+            sum += co_await ch.recv();
+    };
+    sim.spawn(producer());
+    sim.spawn(consumer());
+    sim.run();
+    EXPECT_EQ(sum, 1000L * 1001L / 2);
+    EXPECT_EQ(sim.finishedProcesses(), 2u);
+}
+
+TEST(Channel, MoveOnlyPayloads)
+{
+    Simulation sim;
+    Channel<std::unique_ptr<int>> ch(sim);
+    int got = 0;
+    auto reader = [&]() -> Task<void> {
+        auto p = co_await ch.recv();
+        got = *p;
+    };
+    sim.spawn(reader());
+    ch.send(std::make_unique<int>(7));
+    sim.run();
+    EXPECT_EQ(got, 7);
+}
+
+TEST(Channel, WaiterCountTracksParkedReceivers)
+{
+    Simulation sim;
+    Channel<int> ch(sim);
+    auto reader = [&]() -> Task<void> { (void)co_await ch.recv(); };
+    sim.spawn(reader());
+    sim.spawn(reader());
+    sim.runUntil(0.0);
+    EXPECT_EQ(ch.waiterCount(), 2u);
+    ch.send(1);
+    ch.send(2);
+    sim.run();
+    EXPECT_EQ(ch.waiterCount(), 0u);
+}
+
+} // namespace
+} // namespace tli::sim

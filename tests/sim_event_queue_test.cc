@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the deterministic event queue.
+ */
+
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tli::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.scheduledCount(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.push(3.0, [&] { fired.push_back(3); });
+    q.push(1.0, [&] { fired.push_back(1); });
+    q.push(2.0, [&] { fired.push_back(2); });
+    while (!q.empty())
+        q.pop().action();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeEventsFireFifo)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 100; ++i)
+        q.push(1.0, [&fired, i] { fired.push_back(i); });
+    while (!q.empty())
+        q.pop().action();
+    ASSERT_EQ(fired.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, MixedTimesWithTies)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.push(2.0, [&] { fired.push_back(20); });
+    q.push(1.0, [&] { fired.push_back(10); });
+    q.push(2.0, [&] { fired.push_back(21); });
+    q.push(1.0, [&] { fired.push_back(11); });
+    while (!q.empty())
+        q.pop().action();
+    EXPECT_EQ(fired, (std::vector<int>{10, 11, 20, 21}));
+}
+
+TEST(EventQueue, NextTimeReflectsEarliest)
+{
+    EventQueue q;
+    q.push(5.0, [] {});
+    q.push(2.5, [] {});
+    EXPECT_DOUBLE_EQ(q.nextTime(), 2.5);
+    q.pop();
+    EXPECT_DOUBLE_EQ(q.nextTime(), 5.0);
+}
+
+TEST(EventQueue, ClearDropsEverything)
+{
+    EventQueue q;
+    for (int i = 0; i < 10; ++i)
+        q.push(i, [] {});
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    // scheduledCount is cumulative, not reset by clear.
+    EXPECT_EQ(q.scheduledCount(), 10u);
+}
+
+TEST(EventQueue, LargeVolumeStaysSorted)
+{
+    EventQueue q;
+    // Deterministic pseudo-random times.
+    unsigned state = 12345;
+    for (int i = 0; i < 10000; ++i) {
+        state = state * 1664525u + 1013904223u;
+        q.push(static_cast<double>(state % 1000), [] {});
+    }
+    double last = -1;
+    while (!q.empty()) {
+        EXPECT_GE(q.nextTime(), last);
+        last = q.nextTime();
+        q.pop();
+    }
+}
+
+} // namespace
+} // namespace tli::sim

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the coroutine Task type and Simulation process
+ * handling: ordering, nesting, exceptions, sleep semantics.
+ */
+
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tli::sim {
+namespace {
+
+TEST(Simulation, StartsAtTimeZero)
+{
+    Simulation sim;
+    EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+    EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(Simulation, ScheduleAdvancesClock)
+{
+    Simulation sim;
+    double seen = -1;
+    sim.schedule(2.5, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_DOUBLE_EQ(seen, 2.5);
+    EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulation, SleepResumesAtRightTime)
+{
+    Simulation sim;
+    std::vector<double> wakeups;
+    auto proc = [&](double dt) -> Task<void> {
+        co_await sim.sleep(dt);
+        wakeups.push_back(sim.now());
+        co_await sim.sleep(dt);
+        wakeups.push_back(sim.now());
+    };
+    sim.spawn(proc(1.0));
+    sim.run();
+    ASSERT_EQ(wakeups.size(), 2u);
+    EXPECT_DOUBLE_EQ(wakeups[0], 1.0);
+    EXPECT_DOUBLE_EQ(wakeups[1], 2.0);
+}
+
+TEST(Simulation, ProcessesInterleaveDeterministically)
+{
+    Simulation sim;
+    std::vector<std::string> log;
+    auto proc = [&](std::string name, double period) -> Task<void> {
+        for (int i = 0; i < 3; ++i) {
+            co_await sim.sleep(period);
+            log.push_back(name + "@" + std::to_string(sim.now()));
+        }
+    };
+    sim.spawn(proc("a", 1.0));
+    sim.spawn(proc("b", 1.5));
+    sim.run();
+    ASSERT_EQ(log.size(), 6u);
+    EXPECT_EQ(log[0], "a@1.000000");
+    EXPECT_EQ(log[1], "b@1.500000");
+    EXPECT_EQ(log[2], "a@2.000000");
+    // Tie at t=3.0: b's wakeup was scheduled at t=1.5, a's at t=2.0,
+    // so b fires first (FIFO on schedule order).
+    EXPECT_EQ(log[3], "b@3.000000");
+    EXPECT_EQ(log[4], "a@3.000000");
+    EXPECT_EQ(log[5], "b@4.500000");
+}
+
+TEST(Task, NestedTasksReturnValues)
+{
+    Simulation sim;
+    int result = 0;
+    auto leaf = [&](int x) -> Task<int> {
+        co_await sim.sleep(1.0);
+        co_return x * 2;
+    };
+    auto root = [&]() -> Task<void> {
+        int a = co_await leaf(10);
+        int b = co_await leaf(a);
+        result = b;
+    };
+    sim.spawn(root());
+    sim.run();
+    EXPECT_EQ(result, 40);
+    EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Task, DeeplyNestedChainCompletes)
+{
+    Simulation sim;
+    // Recursion through nested co_awaits; uses symmetric transfer so
+    // no native stack growth at completion time.
+    std::function<Task<int>(int)> chain = [&](int depth) -> Task<int> {
+        if (depth == 0)
+            co_return 0;
+        int below = co_await chain(depth - 1);
+        co_return below + 1;
+    };
+    int result = -1;
+    auto root = [&]() -> Task<void> { result = co_await chain(500); };
+    sim.spawn(root());
+    sim.run();
+    EXPECT_EQ(result, 500);
+}
+
+TEST(Task, ExceptionsPropagateAcrossAwaits)
+{
+    Simulation sim;
+    bool caught = false;
+    auto thrower = [&]() -> Task<int> {
+        co_await sim.sleep(1.0);
+        throw std::runtime_error("boom");
+    };
+    auto root = [&]() -> Task<void> {
+        try {
+            (void)co_await thrower();
+        } catch (const std::runtime_error &e) {
+            caught = std::string(e.what()) == "boom";
+        }
+    };
+    sim.spawn(root());
+    sim.run();
+    EXPECT_TRUE(caught);
+}
+
+TEST(Simulation, RootTaskExceptionSurfacesFromRun)
+{
+    Simulation sim;
+    auto bad = [&]() -> Task<void> {
+        co_await sim.sleep(1.0);
+        throw std::runtime_error("root went bad");
+    };
+    sim.spawn(bad());
+    EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline)
+{
+    Simulation sim;
+    int fired = 0;
+    for (int i = 1; i <= 10; ++i)
+        sim.schedule(i, [&] { ++fired; });
+    sim.runUntil(5.0);
+    EXPECT_EQ(fired, 5);
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+    sim.run();
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulation, FinishedProcessCounting)
+{
+    Simulation sim;
+    auto quick = [&]() -> Task<void> { co_await sim.sleep(1); };
+    auto forever = [&]() -> Task<void> {
+        for (;;)
+            co_await sim.sleep(1e30);
+    };
+    sim.spawn(quick());
+    sim.spawn(quick());
+    sim.spawn(forever());
+    sim.runUntil(10);
+    EXPECT_EQ(sim.spawnedProcesses(), 3u);
+    EXPECT_EQ(sim.finishedProcesses(), 2u);
+    // Destroying the simulation with the parked process must be safe
+    // (covered by leaving scope here; asan would flag a leak/UAF).
+}
+
+TEST(Simulation, ManyProcessesManyEvents)
+{
+    Simulation sim;
+    long counter = 0;
+    auto proc = [&]() -> Task<void> {
+        for (int i = 0; i < 1000; ++i) {
+            co_await sim.sleep(0.001);
+            ++counter;
+        }
+    };
+    for (int p = 0; p < 64; ++p)
+        sim.spawn(proc());
+    sim.run();
+    EXPECT_EQ(counter, 64L * 1000L);
+    EXPECT_EQ(sim.finishedProcesses(), 64u);
+}
+
+} // namespace
+} // namespace tli::sim

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Grid-sweep tool: run one application variant over a bandwidth x
+ * latency grid and emit CSV (the machine-readable form of a Figure 3
+ * panel) on stdout.
+ *
+ *   tli_sweep --app=water --variant=opt > water_opt.csv
+ *   tli_sweep --app=fft --variant=unopt --metric=commtime \
+ *             --bws=6.3,0.95,0.1 --lats=0.5,10,100
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "core/gap_study.h"
+#include "net/config.h"
+
+using namespace tli;
+
+namespace {
+
+std::vector<double>
+parseList(const char *csv)
+{
+    std::vector<double> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        out.push_back(std::atof(item.c_str()));
+    return out;
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options] > out.csv\n"
+        "  --app=NAME --variant=NAME   which program (see tli_run "
+        "--list)\n"
+        "  --clusters=N --procs=N      machine shape (default 4x8)\n"
+        "  --scale=F --seed=N          workload\n"
+        "  --bws=LIST --lats=LIST      comma-separated grids "
+        "(default: the paper's)\n"
+        "  --metric=speedup|commtime   surface to emit (default "
+        "speedup)\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app = "water";
+    std::string variant = "opt";
+    std::string metric = "speedup";
+    core::Scenario base;
+    std::vector<double> bws = net::figureBandwidthsMBs();
+    std::vector<double> lats = net::figureLatenciesMs();
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&](const char *prefix) -> const char * {
+            std::size_t n = std::strlen(prefix);
+            return std::strncmp(arg, prefix, n) == 0 ? arg + n
+                                                     : nullptr;
+        };
+        if (const char *v = value("--app="))
+            app = v;
+        else if (const char *v = value("--variant="))
+            variant = v;
+        else if (const char *v = value("--metric="))
+            metric = v;
+        else if (const char *v = value("--clusters="))
+            base.clusters = std::atoi(v);
+        else if (const char *v = value("--procs="))
+            base.procsPerCluster = std::atoi(v);
+        else if (const char *v = value("--scale="))
+            base.problemScale = std::atof(v);
+        else if (const char *v = value("--seed="))
+            base.seed = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value("--bws="))
+            bws = parseList(v);
+        else if (const char *v = value("--lats="))
+            lats = parseList(v);
+        else {
+            usage(argv[0]);
+            return std::strcmp(arg, "--help") == 0 ? 0 : 2;
+        }
+    }
+
+    core::GapStudy study(apps::findVariant(app, variant), base);
+    core::Surface surface;
+    if (metric == "speedup")
+        surface = study.speedupSurface(bws, lats);
+    else if (metric == "commtime")
+        surface = study.commTimeSurface(bws, lats);
+    else {
+        std::fprintf(stderr, "unknown metric %s\n", metric.c_str());
+        return 2;
+    }
+    std::fprintf(stderr, "# %s\n", surface.title.c_str());
+    surface.writeCsv(std::cout);
+    return 0;
+}
