@@ -1,6 +1,7 @@
 #include "net/fabric.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 namespace tli::net {
@@ -17,6 +18,8 @@ Fabric::Fabric(sim::Simulation &sim, const Topology &topo,
     nics_.reserve(ranks);
     for (int i = 0; i < ranks; ++i)
         nics_.emplace_back(params_.local);
+    lastDelivery_.assign(
+        static_cast<std::size_t>(ranks) * ranks, 0);
     std::size_t wan_count =
         params_.wanTopology == WanTopology::fullyConnected
             ? static_cast<std::size_t>(clusters) * clusters
@@ -44,7 +47,7 @@ Fabric::Fabric(sim::Simulation &sim, const Topology &topo,
 
 void
 Fabric::send(Rank src, Rank dst, std::uint64_t bytes,
-             std::function<void()> deliver)
+             sim::EventFn deliver)
 {
     const Time now = sim_.now();
     const ClusterId sc = topo_.clusterOf(src);
@@ -89,20 +92,14 @@ Fabric::probeArrival(Rank src, Rank dst, std::uint64_t bytes) const
     const Time now = sim_.now();
     const ClusterId sc = topo_.clusterOf(src);
     const ClusterId dc = topo_.clusterOf(dst);
-    auto xmit = [](const Link &link, Time at, std::uint64_t n) {
-        Time start = at > link.busyUntil() ? at : link.busyUntil();
-        return start + link.params().perMessageCost +
-               static_cast<double>(n) / link.params().bandwidth +
-               link.params().latency;
-    };
     if (src == dst)
         return now + params_.local.perMessageCost;
     if (sc == dc)
-        return xmit(nics_[src], now, bytes);
-    Time a = xmit(nics_[src], now, bytes);
-    Time g = xmit(gatewayOut_[sc], a, bytes);
-    Time b = xmit(wanLinks_[wanIndex(sc, dc)], g, bytes);
-    return xmit(gatewayIn_[dc], b, bytes);
+        return nics_[src].probeTransmit(now, bytes);
+    Time a = nics_[src].probeTransmit(now, bytes);
+    Time g = gatewayOut_[sc].probeTransmit(a, bytes);
+    Time b = probeWanTransit(sc, dc, g, bytes);
+    return gatewayIn_[dc].probeTransmit(b, bytes);
 }
 
 void
@@ -116,10 +113,15 @@ Fabric::multicastLocal(Rank src, const std::vector<Rank> &dsts,
     Time arrival = nics_[src].transmit(now, bytes);
     stats_.intra.messages += 1;
     stats_.intra.bytes += bytes;
+    // Share one copy of the handler: the per-destination events then
+    // capture (shared_ptr, Rank), which stays inside EventFn's inline
+    // buffer regardless of the handler's own capture size.
+    auto handler =
+        std::make_shared<std::function<void(Rank)>>(std::move(deliver));
     for (Rank d : dsts) {
         TLI_ASSERT(topo_.sameCluster(src, d),
                    "multicastLocal crosses clusters");
-        sim_.scheduleAt(arrival, [deliver, d] { deliver(d); });
+        sim_.scheduleAt(arrival, [handler, d] { (*handler)(d); });
     }
 }
 
@@ -140,14 +142,12 @@ Fabric::multicastToCluster(Rank src, ClusterId dc,
     Time at_remote_gw = wanTransit(sc, dc, gw_done, bytes);
     // One inbound pass fans out to all members of the cluster.
     Time arrival = gatewayIn_[dc].transmit(at_remote_gw, bytes);
-    // The whole bundle shares one jitter draw; per-destination order
-    // is preserved against earlier point-to-point traffic.
-    Time adjust = wanLatencyAdjust();
-    arrival += adjust;
+    // The whole bundle shares one jitter draw and one delivery time;
+    // clamp that time against every destination's ordering horizon
+    // first, then record it once per destination.
+    arrival += wanLatencyAdjust();
     for (Rank d : dsts)
-        arrival = std::max(arrival, inOrder(src, d, arrival));
-    for (Rank d : dsts)
-        lastDelivery_[{src, d}] = arrival;
+        arrival = std::max(arrival, lastDelivery_[orderIndex(src, d)]);
 
     stats_.intra.messages += 2;
     stats_.intra.bytes += 2 * bytes;
@@ -157,10 +157,13 @@ Fabric::multicastToCluster(Rank src, ClusterId dc,
     per.messages += 1;
     per.bytes += bytes;
 
+    auto handler =
+        std::make_shared<std::function<void(Rank)>>(std::move(deliver));
     for (Rank d : dsts) {
         TLI_ASSERT(topo_.clusterOf(d) == dc,
                    "multicast destination outside target cluster");
-        sim_.scheduleAt(arrival, [deliver, d] { deliver(d); });
+        lastDelivery_[orderIndex(src, d)] = arrival;
+        sim_.scheduleAt(arrival, [handler, d] { (*handler)(d); });
     }
 }
 
@@ -178,42 +181,95 @@ wanTopologyName(WanTopology t)
     return "?";
 }
 
+template <typename HopFn>
 Time
-Fabric::wanTransit(ClusterId sc, ClusterId dc, Time at,
-                   std::uint64_t bytes)
+Fabric::routeWan(ClusterId sc, ClusterId dc, Time at,
+                 std::uint64_t bytes, HopFn &&hop) const
 {
     const int clusters = topo_.clusterCount();
     switch (params_.wanTopology) {
       case WanTopology::fullyConnected:
-        return wanLinks_[wanIndex(sc, dc)].transmit(at, bytes);
+        return hop(wanPairIndex(sc, dc), at, bytes);
 
       case WanTopology::star: {
-        // Up through the source cluster's access link, down through
-        // the destination's.
-        Time mid = wanLinks_[sc].transmit(at, bytes);
-        return wanLinks_[clusters + dc].transmit(mid, bytes);
+        // Up through the source cluster's access link [sc], down
+        // through the destination's [clusters + dc].
+        Time mid = hop(static_cast<std::size_t>(sc), at, bytes);
+        return hop(static_cast<std::size_t>(clusters) + dc, mid, bytes);
       }
 
       case WanTopology::ring: {
-        // Take the shorter arc, store-and-forward per hop.
+        // Take the shorter arc, store-and-forward per hop: clockwise
+        // hop links are [c], counterclockwise ones [clusters + c].
         int cw = (dc - sc + clusters) % clusters;
         int ccw = (sc - dc + clusters) % clusters;
         Time t = at;
         if (cw <= ccw) {
             for (ClusterId c = sc; c != dc;
                  c = (c + 1) % clusters) {
-                t = wanLinks_[c].transmit(t, bytes);
+                t = hop(static_cast<std::size_t>(c), t, bytes);
             }
         } else {
             for (ClusterId c = sc; c != dc;
                  c = (c + clusters - 1) % clusters) {
-                t = wanLinks_[clusters + c].transmit(t, bytes);
+                t = hop(static_cast<std::size_t>(clusters) + c, t,
+                        bytes);
             }
         }
         return t;
       }
     }
     TLI_PANIC("unreachable wan topology");
+}
+
+Time
+Fabric::wanTransit(ClusterId sc, ClusterId dc, Time at,
+                   std::uint64_t bytes)
+{
+    return routeWan(sc, dc, at, bytes,
+                    [this](std::size_t link, Time t, std::uint64_t n) {
+                        return wanLinks_[link].transmit(t, n);
+                    });
+}
+
+Time
+Fabric::probeWanTransit(ClusterId sc, ClusterId dc, Time at,
+                        std::uint64_t bytes) const
+{
+    return routeWan(sc, dc, at, bytes,
+                    [this](std::size_t link, Time t, std::uint64_t n) {
+                        return wanLinks_[link].probeTransmit(t, n);
+                    });
+}
+
+std::size_t
+Fabric::firstWanHop(ClusterId a, ClusterId b) const
+{
+    const int clusters = topo_.clusterCount();
+    switch (params_.wanTopology) {
+      case WanTopology::fullyConnected:
+        return wanPairIndex(a, b);
+      case WanTopology::star:
+        // The up-link of the source cluster.
+        return static_cast<std::size_t>(a);
+      case WanTopology::ring: {
+        int cw = (b - a + clusters) % clusters;
+        int ccw = (a - b + clusters) % clusters;
+        return cw <= ccw ? static_cast<std::size_t>(a)
+                         : static_cast<std::size_t>(clusters) + a;
+      }
+    }
+    TLI_PANIC("unreachable wan topology");
+}
+
+const LinkStats &
+Fabric::wanLinkStats(ClusterId a, ClusterId b) const
+{
+    const int clusters = topo_.clusterCount();
+    TLI_ASSERT(a >= 0 && a < clusters && b >= 0 && b < clusters,
+               "wanLinkStats cluster out of range: ", a, ", ", b);
+    TLI_ASSERT(a != b, "wanLinkStats needs distinct clusters, got ", a);
+    return wanLinks_[firstWanHop(a, b)].stats();
 }
 
 Time
@@ -228,7 +284,7 @@ Fabric::wanLatencyAdjust()
 Time
 Fabric::inOrder(Rank src, Rank dst, Time arrival)
 {
-    Time &last = lastDelivery_[{src, dst}];
+    Time &last = lastDelivery_[orderIndex(src, dst)];
     if (arrival < last)
         arrival = last;
     last = arrival;

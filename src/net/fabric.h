@@ -12,8 +12,6 @@
 #include <functional>
 #include <vector>
 
-#include <map>
-
 #include "net/link.h"
 #include "net/topology.h"
 #include "sim/random.h"
@@ -105,7 +103,7 @@ class Fabric
      * per-message cost with no latency.
      */
     void send(Rank src, Rank dst, std::uint64_t bytes,
-              std::function<void()> deliver);
+              sim::EventFn deliver);
 
     /** Arrival time a message would have if injected now (no send). */
     Time probeArrival(Rank src, Rank dst, std::uint64_t bytes) const;
@@ -133,12 +131,14 @@ class Fabric
     const FabricParams &params() const { return params_; }
     const TrafficStats &stats() const { return stats_; }
 
-    /** Usage counters of one directed wide-area link. */
-    const LinkStats &
-    wanLinkStats(ClusterId a, ClusterId b) const
-    {
-        return wanLinks_[wanIndex(a, b)].stats();
-    }
+    /**
+     * Usage counters of the wide-area link a transfer from cluster
+     * @p a to cluster @p b serializes on first. Topology-aware:
+     * fully connected reports the dedicated (a, b) link, star the
+     * up-link of @p a, ring the first hop of the shorter arc.
+     * Asserts that @p a and @p b are distinct, valid clusters.
+     */
+    const LinkStats &wanLinkStats(ClusterId a, ClusterId b) const;
 
     /** Usage counters of one rank's outbound NIC. */
     const LinkStats &
@@ -174,12 +174,38 @@ class Fabric
     void resetStats();
 
   private:
-    /** Index of the wide-area link from cluster @p a to cluster @p b. */
+    /**
+     * Index of the dedicated (a, b) link on the fully connected WAN.
+     * Only valid for WanTopology::fullyConnected — star and ring
+     * allocate 2*C links addressed by routeWan()'s hop indices.
+     */
     std::size_t
-    wanIndex(ClusterId a, ClusterId b) const
+    wanPairIndex(ClusterId a, ClusterId b) const
     {
         return static_cast<std::size_t>(a) * topo_.clusterCount() + b;
     }
+
+    /** Flat index into lastDelivery_ for the (src, dst) rank pair. */
+    std::size_t
+    orderIndex(Rank src, Rank dst) const
+    {
+        return static_cast<std::size_t>(src) * topo_.totalRanks() + dst;
+    }
+
+    /**
+     * Walk the wide-area links a (sc -> dc) transfer crosses under the
+     * configured topology, in route order, calling
+     * `hop(linkIndex, at, bytes) -> Time` per segment with the
+     * previous segment's delivery time. Shared by the mutating
+     * wanTransit() and the const probe/stats paths, so routing can
+     * never diverge between them.
+     */
+    template <typename HopFn>
+    Time routeWan(ClusterId sc, ClusterId dc, Time at,
+                  std::uint64_t bytes, HopFn &&hop) const;
+
+    /** Index of the first link routeWan() crosses for (a -> b). */
+    std::size_t firstWanHop(ClusterId a, ClusterId b) const;
 
     /** Sampled latency perturbation for one wide-area message. */
     Time wanLatencyAdjust();
@@ -191,8 +217,13 @@ class Fabric
     Topology topo_;
     FabricParams params_;
     sim::Random jitterRng_;
-    /** Last delivery time per (src, dst) pair (TCP ordering). */
-    std::map<std::pair<Rank, Rank>, Time> lastDelivery_;
+    /**
+     * Last delivery time per (src, dst) rank pair (TCP ordering),
+     * indexed by orderIndex(). A flat R*R vector: consulted on every
+     * inter-cluster message, so O(1) lookup beats the tree walk of the
+     * std::map it replaced.
+     */
+    std::vector<Time> lastDelivery_;
 
     /**
      * Carry one message across the wide area from cluster @p sc to
@@ -202,6 +233,10 @@ class Fabric
      */
     Time wanTransit(ClusterId sc, ClusterId dc, Time at,
                     std::uint64_t bytes);
+
+    /** Non-mutating wanTransit(): same routing, no link occupancy. */
+    Time probeWanTransit(ClusterId sc, ClusterId dc, Time at,
+                         std::uint64_t bytes) const;
 
     /** One outbound NIC link per rank (local layer). */
     std::vector<Link> nics_;

@@ -74,14 +74,25 @@ class Link
     transmit(Time now, std::uint64_t bytes)
     {
         Time start = now > busyUntil_ ? now : busyUntil_;
-        Time occupancy =
-            params_.perMessageCost +
-            static_cast<double>(bytes) / params_.bandwidth;
+        Time occupancy = occupancyOf(bytes);
         busyUntil_ = start + occupancy;
         stats_.messages += 1;
         stats_.bytes += bytes;
         stats_.busyTime += occupancy;
         return busyUntil_ + params_.latency;
+    }
+
+    /**
+     * Delivery time a message of @p bytes injected at @p now would
+     * have, without occupying the link or touching the counters. Uses
+     * the same serialization math as transmit(), so probe and send
+     * agree exactly on an idle link.
+     */
+    Time
+    probeTransmit(Time now, std::uint64_t bytes) const
+    {
+        Time start = now > busyUntil_ ? now : busyUntil_;
+        return start + occupancyOf(bytes) + params_.latency;
     }
 
     /** Earliest time a new message could begin serializing. */
@@ -91,6 +102,13 @@ class Link
     const LinkStats &stats() const { return stats_; }
 
   private:
+    Time
+    occupancyOf(std::uint64_t bytes) const
+    {
+        return params_.perMessageCost +
+               static_cast<double>(bytes) / params_.bandwidth;
+    }
+
     LinkParams params_;
     Time busyUntil_ = 0;
     LinkStats stats_;

@@ -1,17 +1,27 @@
 /**
  * @file
- * Deterministic discrete-event queue: a binary min-heap ordered by
- * (time, insertion sequence), so same-time events fire in FIFO order.
+ * Deterministic discrete-event queue: a 4-ary min-heap over a plain
+ * vector, ordered by (time, insertion sequence) so same-time events
+ * fire in FIFO order.
+ *
+ * Layout: the heap itself holds trivially-copyable (when, seq, slot)
+ * entries, so every sift step is a 24-byte copy the compiler inlines;
+ * the type-erased callables live in a side arena addressed by slot and
+ * never move while queued (slots are recycled through a free list).
+ * Owning the heap directly — instead of wrapping std::priority_queue —
+ * lets pop() move the payload out legitimately; the old implementation
+ * const_cast-moved from top(), which is undefined behavior.
  */
 
 #ifndef TWOLAYER_SIM_EVENT_QUEUE_H_
 #define TWOLAYER_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
+#include "sim/inline_function.h"
+#include "sim/logging.h"
 #include "sim/types.h"
 
 namespace tli::sim {
@@ -21,7 +31,7 @@ struct Event
 {
     Time when;
     std::uint64_t seq;
-    std::function<void()> action;
+    EventFn action;
 };
 
 /**
@@ -32,26 +42,51 @@ struct Event
 class EventQueue
 {
   public:
-    /** Schedule @p action to fire at absolute time @p when. */
+    /**
+     * Schedule @p action to fire at absolute time @p when. Accepts any
+     * void() callable (or an EventFn) and constructs it directly in
+     * the arena slot, so the common path performs no type-erased
+     * relocation and no allocation.
+     */
+    template <typename F>
     void
-    push(Time when, std::function<void()> action)
+    push(Time when, F &&action)
     {
-        heap_.push(Event{when, nextSeq_++, std::move(action)});
+        std::uint32_t slot;
+        if (!freeSlots_.empty()) {
+            slot = freeSlots_.back();
+            freeSlots_.pop_back();
+            actions_[slot].emplace(std::forward<F>(action));
+        } else {
+            slot = static_cast<std::uint32_t>(actions_.size());
+            actions_.emplace_back(std::forward<F>(action));
+        }
+        TLI_ASSERT(slot < (1u << slotBits) && nextSeq_ < maxSeq,
+                   "event queue capacity exceeded");
+        heap_.push_back(
+            Entry{when, (nextSeq_++ << slotBits) | slot});
+        siftUp(heap_.size() - 1);
     }
 
     bool empty() const { return heap_.empty(); }
     std::size_t size() const { return heap_.size(); }
 
     /** Time of the earliest pending event. Undefined when empty. */
-    Time nextTime() const { return heap_.top().when; }
+    Time nextTime() const { return heap_.front().when; }
 
     /** Remove and return the earliest pending event. */
     Event
     pop()
     {
-        Event ev = std::move(const_cast<Event &>(heap_.top()));
-        heap_.pop();
-        return ev;
+        const Entry top = heap_.front();
+        const std::uint32_t slot = top.slot();
+        Event out{top.when, top.seq(), std::move(actions_[slot])};
+        freeSlots_.push_back(slot);
+        const Entry last = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty())
+            siftDown(last);
+        return out;
     }
 
     /** Total number of events ever scheduled (statistics). */
@@ -61,23 +96,120 @@ class EventQueue
     void
     clear()
     {
-        while (!heap_.empty())
-            heap_.pop();
+        heap_.clear();
+        actions_.clear();
+        freeSlots_.clear();
+    }
+
+    /** Pre-size the queue's storage (optional tuning). */
+    void
+    reserve(std::size_t n)
+    {
+        heap_.reserve(n);
+        actions_.reserve(n);
+        freeSlots_.reserve(n);
     }
 
   private:
-    struct Later
+    /** Low bits of Entry::seqSlot holding the arena slot index. */
+    static constexpr unsigned slotBits = 24;
+    /** Sequence numbers use the remaining 40 bits (~10^12 events). */
+    static constexpr std::uint64_t maxSeq = 1ull << (64 - slotBits);
+
+    /**
+     * One heap node; deliberately trivially copyable and 16 bytes, so
+     * sift steps are plain register copies and the heap stays dense in
+     * cache. The sequence number and slot share one word (seq in the
+     * high bits): sequence numbers are unique, so ordering the packed
+     * word orders by sequence, and the slot rides along for free.
+     */
+    struct Entry
     {
-        bool
-        operator()(const Event &a, const Event &b) const
+        Time when;
+        std::uint64_t seqSlot;
+
+        std::uint64_t seq() const { return seqSlot >> slotBits; }
+        std::uint32_t
+        slot() const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+            return static_cast<std::uint32_t>(
+                seqSlot & ((1u << slotBits) - 1));
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    /** Children of node i are [arity*i + 1, arity*i + arity]. */
+    static constexpr std::size_t arity = 4;
+
+    static bool
+    earlier(const Entry &a, const Entry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seqSlot < b.seqSlot;
+    }
+
+    /**
+     * Restore the heap property after appending at @p hole. Hole-based:
+     * parents shift down into the hole and the appended entry is
+     * written once at its final position.
+     */
+    void
+    siftUp(std::size_t hole)
+    {
+        const Entry moving = heap_[hole];
+        while (hole > 0) {
+            std::size_t parent = (hole - 1) / arity;
+            if (!earlier(moving, heap_[parent]))
+                break;
+            heap_[hole] = heap_[parent];
+            hole = parent;
+        }
+        heap_[hole] = moving;
+    }
+
+    /**
+     * Place @p moving, displaced from the tail, starting at the root.
+     * Bottom-up (Wegener) variant: walk the hole to a leaf along the
+     * min-child path without testing @p moving at each level — a
+     * tail element almost always belongs near the bottom, so the
+     * per-level early-exit test is a predictably wasted comparison —
+     * then bubble @p moving back up the same path.
+     */
+    void
+    siftDown(const Entry moving)
+    {
+        const std::size_t n = heap_.size();
+        std::size_t hole = 0;
+        for (;;) {
+            std::size_t first = arity * hole + 1;
+            if (first >= n)
+                break;
+#if defined(__GNUC__) || defined(__clang__)
+            // Start pulling the next level in while this one is
+            // compared; the deep levels of a large heap miss cache.
+            if (std::size_t next = arity * first + 1; next < n) {
+                __builtin_prefetch(&heap_[next]);
+                __builtin_prefetch(&heap_[next + arity * 2]);
+            }
+#endif
+            std::size_t best = first;
+            std::size_t end = first + arity < n ? first + arity : n;
+            for (std::size_t c = first + 1; c < end; ++c) {
+                if (earlier(heap_[c], heap_[best]))
+                    best = c;
+            }
+            heap_[hole] = heap_[best];
+            hole = best;
+        }
+        heap_[hole] = moving;
+        siftUp(hole);
+    }
+
+    std::vector<Entry> heap_;
+    /** Queued callables, indexed by Entry::slot; stable while queued. */
+    std::vector<EventFn> actions_;
+    /** Recyclable indices of fired events' slots. */
+    std::vector<std::uint32_t> freeSlots_;
     std::uint64_t nextSeq_ = 0;
 };
 

@@ -9,7 +9,6 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <vector>
 
@@ -39,21 +38,27 @@ class Simulation
     /** Current virtual time in seconds. */
     Time now() const { return now_; }
 
-    /** Schedule a callback @p delay seconds from now. */
+    /**
+     * Schedule a callback @p delay seconds from now. @p action may be
+     * any void() callable; it is forwarded into the event queue's
+     * inline storage without intermediate type erasure.
+     */
+    template <typename F>
     void
-    schedule(Time delay, std::function<void()> action)
+    schedule(Time delay, F &&action)
     {
         TLI_ASSERT(delay >= 0, "negative delay ", delay);
-        events_.push(now_ + delay, std::move(action));
+        events_.push(now_ + delay, std::forward<F>(action));
     }
 
     /** Schedule a callback at absolute time @p when (>= now). */
+    template <typename F>
     void
-    scheduleAt(Time when, std::function<void()> action)
+    scheduleAt(Time when, F &&action)
     {
         TLI_ASSERT(when >= now_, "scheduleAt in the past: ", when,
                    " < ", now_);
-        events_.push(when, std::move(action));
+        events_.push(when, std::forward<F>(action));
     }
 
     /**

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Determinism regression tests: a scenario run twice with the same
+ * seed must produce bit-identical results — virtual end time, traffic
+ * counters, checksum, and per-rank compute — including when wide-area
+ * jitter is enabled. This is the property the deterministic event
+ * queue (time, sequence) ordering and the seeded jitter stream exist
+ * to guarantee; any hidden source of nondeterminism in the hot path
+ * (iteration order, uninitialized reads, address-dependent ordering)
+ * shows up here.
+ */
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.h"
+#include "core/scenario.h"
+
+namespace tli::apps {
+namespace {
+
+core::Scenario
+testScenario(double jitter, net::WanTopology shape)
+{
+    core::Scenario s;
+    s.clusters = 4;
+    s.procsPerCluster = 2;
+    s.wanBandwidthMBs = 6.0;
+    s.wanLatencyMs = 1.0;
+    s.problemScale = 0.05;
+    s.wanJitterFraction = jitter;
+    s.wanShape = shape;
+    return s;
+}
+
+void
+expectBitIdentical(const core::RunResult &a, const core::RunResult &b)
+{
+    // Exact equality on purpose: the runs must not merely agree to a
+    // tolerance, they must be the same computation.
+    EXPECT_EQ(a.runTime, b.runTime);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.verified, b.verified);
+    EXPECT_EQ(a.traffic.intra.messages, b.traffic.intra.messages);
+    EXPECT_EQ(a.traffic.intra.bytes, b.traffic.intra.bytes);
+    EXPECT_EQ(a.traffic.inter.messages, b.traffic.inter.messages);
+    EXPECT_EQ(a.traffic.inter.bytes, b.traffic.inter.bytes);
+    ASSERT_EQ(a.traffic.interPerCluster.size(),
+              b.traffic.interPerCluster.size());
+    for (std::size_t c = 0; c < a.traffic.interPerCluster.size(); ++c) {
+        EXPECT_EQ(a.traffic.interPerCluster[c].messages,
+                  b.traffic.interPerCluster[c].messages)
+            << "cluster " << c;
+        EXPECT_EQ(a.traffic.interPerCluster[c].bytes,
+                  b.traffic.interPerCluster[c].bytes)
+            << "cluster " << c;
+    }
+    EXPECT_EQ(a.computePerRank, b.computePerRank);
+}
+
+/** (app, variant, jitter, shape). */
+using Case =
+    std::tuple<std::string, std::string, double, net::WanTopology>;
+
+class RepeatedRun : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(RepeatedRun, SameSeedSameResult)
+{
+    auto [app, variant, jitter, shape] = GetParam();
+    auto v = findVariant(app, variant);
+    core::Scenario s = testScenario(jitter, shape);
+    core::RunResult first = v.run(s);
+    core::RunResult second = v.run(s);
+    EXPECT_TRUE(first.verified) << v.fullName();
+    expectBitIdentical(first, second);
+}
+
+std::vector<Case>
+allCases()
+{
+    return {
+        {"water", "opt", 0.0, net::WanTopology::fullyConnected},
+        {"water", "opt", 0.3, net::WanTopology::fullyConnected},
+        {"water", "unopt", 0.3, net::WanTopology::ring},
+        {"tsp", "opt", 0.0, net::WanTopology::fullyConnected},
+        {"tsp", "opt", 0.3, net::WanTopology::fullyConnected},
+        {"tsp", "unopt", 0.3, net::WanTopology::star},
+    };
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    const auto &[app, variant, jitter, shape] = info.param;
+    std::string name = app + "_" + variant;
+    name += jitter > 0 ? "_jitter" : "_nojitter";
+    name += "_";
+    name += shape == net::WanTopology::fullyConnected ? "full"
+            : shape == net::WanTopology::star         ? "star"
+                                                      : "ring";
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(WaterAndTsp, RepeatedRun,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+} // namespace
+} // namespace tli::apps

@@ -241,6 +241,161 @@ TEST(Fabric, MaxWanUtilizationReflectsBusyLink)
     EXPECT_DOUBLE_EQ(fab.maxWanUtilization(0), 0.0);
 }
 
+FabricParams
+topoParams(WanTopology shape)
+{
+    FabricParams p = simpleParams();
+    p.wanTopology = shape;
+    return p;
+}
+
+TEST(Fabric, StarTwoSegmentTiming)
+{
+    // A star transfer serializes twice (up-link, then down-link) but
+    // the two segments split the one-way propagation latency.
+    sim::Simulation sim;
+    Fabric fab(sim, Topology(4, 1), topoParams(WanTopology::star));
+    double arrived = -1;
+    fab.send(0, 2, 1000, [&] { arrived = sim.now(); });
+    sim.run();
+    // 2 ms NIC; 2 x (1 s serialize + 0.5 s latency); 1 ms final hop.
+    EXPECT_NEAR(arrived, 0.002 + 3.0 + 0.001, 1e-7);
+}
+
+TEST(Fabric, RingTwoHopStoreAndForwardTiming)
+{
+    sim::Simulation sim;
+    Fabric fab(sim, Topology(4, 1), topoParams(WanTopology::ring));
+    double arrived = -1;
+    fab.send(0, 2, 1000, [&] { arrived = sim.now(); });
+    sim.run();
+    // Opposite corner of a 4-ring: two full store-and-forward hops of
+    // 1 s serialize + 1 s latency each.
+    EXPECT_NEAR(arrived, 0.002 + 4.0 + 0.001, 1e-7);
+}
+
+/**
+ * Probe/send agreement at C = 4 for every WAN shape. The seed probe
+ * always indexed wanLinks_ as src*C + dst, which on star and ring (2C
+ * links) both read out of bounds and modeled the wrong route.
+ */
+class WanShapeProbe : public ::testing::TestWithParam<WanTopology>
+{
+};
+
+TEST_P(WanShapeProbe, ProbeMatchesSendWhenIdleAtFourClusters)
+{
+    for (Rank dst : {2, 4, 6}) { // one rank in each remote cluster
+        sim::Simulation sim;
+        Fabric fab(sim, Topology(4, 2), topoParams(GetParam()));
+        Time probed = fab.probeArrival(1, dst, 700);
+        double arrived = -1;
+        fab.send(1, dst, 700, [&] { arrived = sim.now(); });
+        sim.run();
+        EXPECT_DOUBLE_EQ(probed, arrived)
+            << wanTopologyName(GetParam()) << " to rank " << dst;
+    }
+}
+
+TEST_P(WanShapeProbe, ProbeReflectsQueueingBehindEarlierSend)
+{
+    sim::Simulation sim;
+    Fabric fab(sim, Topology(4, 2), topoParams(GetParam()));
+    fab.send(0, 6, 900, [] {});
+    // Links are reserved at send time, so a probe now sees the queue.
+    Time probed = fab.probeArrival(0, 6, 900);
+    double arrived = -1;
+    fab.send(0, 6, 900, [&] { arrived = sim.now(); });
+    sim.run();
+    EXPECT_DOUBLE_EQ(probed, arrived) << wanTopologyName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, WanShapeProbe,
+    ::testing::Values(WanTopology::fullyConnected, WanTopology::star,
+                      WanTopology::ring),
+    [](const ::testing::TestParamInfo<WanTopology> &info) {
+        switch (info.param) {
+          case WanTopology::fullyConnected:
+            return "FullyConnected";
+          case WanTopology::star:
+            return "Star";
+          case WanTopology::ring:
+            return "Ring";
+        }
+        return "Unknown";
+    });
+
+TEST(Fabric, WanLinkStatsStarReportsUpLink)
+{
+    sim::Simulation sim;
+    Fabric fab(sim, Topology(4, 1), topoParams(WanTopology::star));
+    fab.send(0, 1, 500, [] {});
+    fab.send(0, 2, 300, [] {});
+    sim.run();
+    // Both transfers climb cluster 0's up-link, whichever cluster they
+    // descend to.
+    EXPECT_EQ(fab.wanLinkStats(0, 1).messages, 2u);
+    EXPECT_EQ(fab.wanLinkStats(0, 1).bytes, 800u);
+    EXPECT_EQ(&fab.wanLinkStats(0, 2), &fab.wanLinkStats(0, 1));
+    EXPECT_EQ(fab.wanLinkStats(1, 0).messages, 0u);
+}
+
+TEST(Fabric, WanLinkStatsRingReportsFirstHopOfShorterArc)
+{
+    sim::Simulation sim;
+    Fabric fab(sim, Topology(4, 1), topoParams(WanTopology::ring));
+    fab.send(0, 1, 500, [] {}); // clockwise arc
+    fab.send(0, 3, 300, [] {}); // counterclockwise arc
+    sim.run();
+    EXPECT_EQ(fab.wanLinkStats(0, 1).messages, 1u);
+    EXPECT_EQ(fab.wanLinkStats(0, 1).bytes, 500u);
+    EXPECT_EQ(fab.wanLinkStats(0, 3).messages, 1u);
+    EXPECT_EQ(fab.wanLinkStats(0, 3).bytes, 300u);
+    // The opposite corner ties; clockwise wins, so its first hop is
+    // the same physical link as the 0 -> 1 route.
+    EXPECT_EQ(&fab.wanLinkStats(0, 2), &fab.wanLinkStats(0, 1));
+}
+
+TEST(FabricDeathTest, WanLinkStatsRejectsInvalidPairs)
+{
+    sim::Simulation sim;
+    Fabric fab(sim, Topology(4, 1), simpleParams());
+    EXPECT_DEATH((void)fab.wanLinkStats(1, 1), "distinct");
+    EXPECT_DEATH((void)fab.wanLinkStats(0, 4), "out of range");
+    EXPECT_DEATH((void)fab.wanLinkStats(-1, 2), "out of range");
+}
+
+TEST(Fabric, InterleavedP2pAndMulticastDeliverInSendOrder)
+{
+    // Heavy jitter (+-0.8 s on 0.1 s message spacing) reorders raw
+    // arrivals on the same (src, dst) pair almost surely; the per-pair
+    // clamp must restore send order across both delivery paths. The
+    // seed recorded multicast deliveries into the ordering map twice,
+    // once before clamping, corrupting the horizon for later p2p
+    // sends.
+    sim::Simulation sim;
+    FabricParams p = simpleParams();
+    p.wanJitter = 0.8;
+    Fabric fab(sim, Topology(2, 2), p);
+    constexpr int rounds = 6;
+    std::vector<double> at(2 * rounds, -1);
+    for (int i = 0; i < rounds; ++i) {
+        const int p2p = 2 * i;
+        const int mc = 2 * i + 1;
+        fab.send(0, 2, 100, [&at, &sim, p2p] { at[p2p] = sim.now(); });
+        fab.multicastToCluster(0, 1, {2, 3}, 100,
+                               [&at, &sim, mc](Rank r) {
+                                   if (r == 2)
+                                       at[mc] = sim.now();
+                               });
+    }
+    sim.run();
+    EXPECT_GE(at[0], 0.0);
+    for (int i = 1; i < 2 * rounds; ++i)
+        EXPECT_GE(at[i], at[i - 1]) << "send #" << i << " overtook";
+}
+
 TEST(Config, MyrinetMatchesPaperNumbers)
 {
     LinkParams p = myrinetParams();

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace tli::sim {
@@ -94,6 +98,100 @@ TEST(EventQueue, LargeVolumeStaysSorted)
         last = q.nextTime();
         q.pop();
     }
+}
+
+TEST(EventQueue, InterleavedPushPopMatchesReferenceModel)
+{
+    // Random interleaving of pushes and pops against a linear-scan
+    // reference model of the pending set: every pop must return the
+    // minimum (when, seq) currently pending. This exercises slot
+    // recycling and sift paths a push-all-then-drain pattern never
+    // hits.
+    EventQueue q;
+    std::vector<std::pair<double, std::uint64_t>> pending;
+    unsigned state = 99;
+    std::uint64_t seq = 0;
+    for (int step = 0; step < 20000; ++step) {
+        state = state * 1664525u + 1013904223u;
+        if (state % 3 != 0 || q.empty()) {
+            double when = static_cast<double>(state % 1000);
+            q.push(when, [] {});
+            pending.emplace_back(when, seq++);
+        } else {
+            Event ev = q.pop();
+            auto expect =
+                std::min_element(pending.begin(), pending.end());
+            ASSERT_EQ(ev.when, expect->first);
+            ASSERT_EQ(ev.seq, expect->second);
+            pending.erase(expect);
+        }
+    }
+    while (!q.empty()) {
+        Event ev = q.pop();
+        auto expect = std::min_element(pending.begin(), pending.end());
+        ASSERT_EQ(ev.when, expect->first);
+        ASSERT_EQ(ev.seq, expect->second);
+        pending.erase(expect);
+    }
+    EXPECT_TRUE(pending.empty());
+}
+
+TEST(EventQueue, PoppedEventsRunAfterLaterPushes)
+{
+    // A popped event's callable must stay valid while new events are
+    // pushed (slot reuse must not alias live payloads).
+    EventQueue q;
+    int hits = 0;
+    q.push(1.0, [&hits] { hits += 1; });
+    Event ev = q.pop();
+    for (int i = 0; i < 8; ++i)
+        q.push(2.0, [&hits] { hits += 100; });
+    ev.action();
+    EXPECT_EQ(hits, 1);
+    while (!q.empty())
+        q.pop().action();
+    EXPECT_EQ(hits, 801);
+}
+
+TEST(EventQueue, LargeCallablesAreBoxedAndSurviveSifts)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    unsigned state = 7;
+    for (int i = 0; i < 500; ++i) {
+        state = state * 1664525u + 1013904223u;
+        double when = static_cast<double>(state % 50);
+        std::array<std::uint64_t, 8> big{};
+        big[0] = static_cast<std::uint64_t>(i);
+        auto fn = [big, &fired] {
+            fired.push_back(static_cast<int>(big[0]));
+        };
+        static_assert(!EventFn::fitsInline<decltype(fn)>,
+                      "capture must exceed the inline buffer");
+        q.push(when, std::move(fn));
+    }
+    double last = -1;
+    while (!q.empty()) {
+        EXPECT_GE(q.nextTime(), last);
+        last = q.nextTime();
+        q.pop().action();
+    }
+    EXPECT_EQ(fired.size(), 500u);
+}
+
+TEST(EventQueue, SlotsAreRecycled)
+{
+    // Pumping events through a small queue must not grow the callable
+    // arena: scheduledCount climbs, size stays bounded.
+    EventQueue q;
+    for (int round = 0; round < 1000; ++round) {
+        q.push(static_cast<double>(round), [] {});
+        q.push(static_cast<double>(round), [] {});
+        q.pop().action();
+        q.pop().action();
+    }
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.scheduledCount(), 2000u);
 }
 
 } // namespace

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the small-buffer-optimized event callable: inline vs
+ * boxed storage selection, move semantics, and destruction.
+ */
+
+#include "sim/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace tli::sim {
+namespace {
+
+TEST(InlineFunction, DefaultIsEmpty)
+{
+    EventFn f;
+    EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, InvokesSmallLambda)
+{
+    int hits = 0;
+    EventFn f([&hits] { ++hits; });
+    ASSERT_TRUE(static_cast<bool>(f));
+    f();
+    f();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, SmallCapturesStayInline)
+{
+    struct Small
+    {
+        void *a;
+        void *b;
+        int c;
+    };
+    auto lambda = [s = Small{}] { (void)s; };
+    EXPECT_TRUE(EventFn::fitsInline<decltype(lambda)>);
+    EXPECT_TRUE((EventFn::fitsInline<std::shared_ptr<int>>));
+}
+
+TEST(InlineFunction, LargeCapturesAreBoxedButStillWork)
+{
+    std::array<std::uint64_t, 16> big{};
+    big[7] = 41;
+    std::uint64_t seen = 0;
+    auto lambda = [big, &seen] { seen = big[7] + 1; };
+    EXPECT_FALSE(EventFn::fitsInline<decltype(lambda)>);
+    EventFn f(std::move(lambda));
+    f();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(InlineFunction, AcceptsStdFunction)
+{
+    int hits = 0;
+    std::function<void()> fn = [&hits] { ++hits; };
+    EventFn f(std::move(fn));
+    f();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunction, MoveTransfersOwnership)
+{
+    int hits = 0;
+    EventFn a([&hits] { ++hits; });
+    EventFn b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(hits, 1);
+
+    EventFn c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, DestroysCaptureExactlyOnce)
+{
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = token;
+    {
+        EventFn f([token] { (void)*token; });
+        token.reset();
+        EXPECT_FALSE(watch.expired()); // capture keeps it alive
+        EventFn g(std::move(f));
+        EXPECT_FALSE(watch.expired());
+    }
+    EXPECT_TRUE(watch.expired()); // released on destruction
+}
+
+TEST(InlineFunction, DestroysBoxedCaptureExactlyOnce)
+{
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = token;
+    std::array<char, 64> pad{};
+    {
+        EventFn f([token, pad] { (void)*token, (void)pad; });
+        token.reset();
+        EXPECT_FALSE(watch.expired());
+    }
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, ResetReleasesAndEmpties)
+{
+    auto token = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = token;
+    EventFn f([token] {});
+    token.reset();
+    f.reset();
+    EXPECT_TRUE(watch.expired());
+    EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, EmplaceReplacesInPlace)
+{
+    auto first = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = first;
+    int hits = 0;
+    EventFn f([first] {});
+    first.reset();
+    f.emplace([&hits] { ++hits; });
+    EXPECT_TRUE(watch.expired()); // old capture destroyed
+    f();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunction, EmplaceFromEventFnMoves)
+{
+    int hits = 0;
+    EventFn a([&hits] { ++hits; });
+    EventFn b;
+    b.emplace(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    b();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunction, MoveAssignOverBusySlotReleasesOldCapture)
+{
+    auto old_token = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = old_token;
+    EventFn slot([old_token] {});
+    old_token.reset();
+
+    int hits = 0;
+    slot = EventFn([&hits] { ++hits; });
+    EXPECT_TRUE(watch.expired());
+    slot();
+    EXPECT_EQ(hits, 1);
+}
+
+} // namespace
+} // namespace tli::sim

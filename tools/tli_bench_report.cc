@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Perf-trajectory reporter: measures the simulator's hot paths — raw
+ * event-queue throughput (against an embedded copy of the seed
+ * `std::priority_queue<std::function>` implementation as a fixed
+ * baseline), coroutine event dispatch, and fabric/panda messaging —
+ * and emits a machine-readable BENCH_<label>.json with events/sec,
+ * messages/sec, and peak RSS. Each PR appends a snapshot, so the
+ * repository carries its own performance history.
+ *
+ * Methodology: every metric is best-of-R repetitions measured with a
+ * monotonic clock inside one process, so the new/baseline event-queue
+ * ratio is insensitive to machine load between runs.
+ */
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "magpie/communicator.h"
+#include "net/config.h"
+#include "panda/panda.h"
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+
+using namespace tli;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Best-of-@p reps wall time of @p body, in seconds. */
+template <typename Body>
+double
+bestOf(int reps, Body &&body)
+{
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        body();
+        double dt = secondsSince(t0);
+        if (dt < best)
+            best = dt;
+    }
+    return best;
+}
+
+/**
+ * The event-queue workload: push @p n events at pseudo-random times,
+ * then drain. The callback captures 20 bytes (two pointers and an
+ * int), the shape of the simulator's real delivery closures — small
+ * enough for EventFn's inline buffer, too big for libstdc++'s
+ * std::function SBO, which is exactly the allocation the rewrite
+ * removes.
+ */
+struct Payload
+{
+    std::uint64_t *sink;
+    const int *base;
+    int index;
+};
+
+template <typename Queue>
+void
+queueWorkload(Queue &q, int n, std::uint64_t &sink, const int &base)
+{
+    for (int i = 0; i < n; ++i) {
+        Payload p{&sink, &base, i};
+        q.push(static_cast<double>((i * 7919) % 1000),
+               [p] { *p.sink += p.index + *p.base; });
+    }
+    while (!q.empty())
+        q.pop().action();
+}
+
+/**
+ * Verbatim seed event queue (PR 0 state): std::priority_queue over
+ * std::function events, const_cast move from top(). Kept here as the
+ * frozen baseline the speedup criterion is measured against.
+ */
+class SeedEventQueue
+{
+  public:
+    struct Event
+    {
+        Time when;
+        std::uint64_t seq;
+        std::function<void()> action;
+    };
+
+    void
+    push(Time when, std::function<void()> action)
+    {
+        heap_.push(Event{when, nextSeq_++, std::move(action)});
+    }
+
+    bool empty() const { return heap_.empty(); }
+
+    Event
+    pop()
+    {
+        Event ev = std::move(const_cast<Event &>(heap_.top()));
+        heap_.pop();
+        return ev;
+    }
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+/**
+ * Measure the new queue and the seed baseline on the same workload.
+ * The repetitions are interleaved pairwise so transient machine load
+ * hits both sides alike and the reported ratio stays stable.
+ * @return {new events/sec, baseline events/sec}.
+ */
+std::pair<double, double>
+measureEventQueue(int n, int reps)
+{
+    std::uint64_t sink = 0;
+    const int base = 3;
+    double best_new = 1e300;
+    double best_seed = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        double dt = bestOf(1, [&] {
+            sim::EventQueue q;
+            queueWorkload(q, n, sink, base);
+        });
+        best_new = std::min(best_new, dt);
+        dt = bestOf(1, [&] {
+            SeedEventQueue q;
+            queueWorkload(q, n, sink, base);
+        });
+        best_seed = std::min(best_seed, dt);
+    }
+    if (sink == 0)
+        std::fprintf(stderr, "unexpected zero sink\n");
+    return {n / best_new, n / best_seed};
+}
+
+double
+measureSleepLoop(int n, int reps)
+{
+    double best = bestOf(reps, [&] {
+        sim::Simulation sim;
+        auto proc = [&sim, n]() -> sim::Task<void> {
+            for (int i = 0; i < n; ++i)
+                co_await sim.sleep(1e-3);
+        };
+        sim.spawn(proc());
+        sim.run();
+    });
+    return n / best;
+}
+
+double
+measurePandaUnicast(int n, int reps)
+{
+    double best = bestOf(reps, [&] {
+        sim::Simulation sim;
+        net::Topology topo(4, 8);
+        net::Fabric fabric(sim, topo, net::dasParams(6.0, 0.5));
+        panda::Panda panda(sim, fabric);
+        auto receiver = [&]() -> sim::Task<void> {
+            for (int i = 0; i < n; ++i)
+                (void)co_await panda.recv(31, 1);
+        };
+        sim.spawn(receiver());
+        for (int i = 0; i < n; ++i)
+            panda.send(0, 31, 1, 64, i);
+        sim.run();
+    });
+    return n / best;
+}
+
+double
+measurePandaBroadcast(int rounds, int reps)
+{
+    const int ranks = 32;
+    double best = bestOf(reps, [&] {
+        sim::Simulation sim;
+        net::Topology topo(4, 8);
+        net::Fabric fabric(sim, topo, net::dasParams(6.0, 0.5));
+        panda::Panda panda(sim, fabric);
+        auto receiver = [&](Rank self) -> sim::Task<void> {
+            for (int i = 0; i < rounds; ++i)
+                (void)co_await panda.recv(self, 7);
+        };
+        for (Rank r = 1; r < ranks; ++r)
+            sim.spawn(receiver(r));
+        auto sender = [&]() -> sim::Task<void> {
+            for (int i = 0; i < rounds; ++i) {
+                panda.broadcast(0, 7, 256, i);
+                co_await sim.sleep(1e-3);
+            }
+        };
+        sim.spawn(sender());
+        sim.run();
+    });
+    // One broadcast delivers to every other rank.
+    return static_cast<double>(rounds) * (ranks - 1) / best;
+}
+
+long
+peakRssBytes()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return -1;
+    return ru.ru_maxrss * 1024L; // Linux reports KiB
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string label = "pr1";
+    std::string out;
+    int reps = 5;
+    int queue_events = 1 << 16;
+    int sleep_events = 100000;
+    int unicast_msgs = 8192;
+    int broadcast_rounds = 256;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--label=", 8) == 0) {
+            label = argv[i] + 8;
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            out = argv[i] + 6;
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
+            reps = 2;
+            queue_events = 1 << 14;
+            sleep_events = 20000;
+            unicast_msgs = 2048;
+            broadcast_rounds = 64;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: %s [--label=NAME] [--out=FILE.json] "
+                        "[--quick]\n",
+                        argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+            return 2;
+        }
+    }
+    if (out.empty())
+        out = "BENCH_" + label + ".json";
+
+    std::fprintf(stderr, "measuring event queue (new vs seed)...\n");
+    auto [q_new, q_seed] = measureEventQueue(queue_events, reps);
+    std::fprintf(stderr, "measuring coroutine sleep loop...\n");
+    double sleep_eps = measureSleepLoop(sleep_events, reps);
+    std::fprintf(stderr, "measuring panda unicast...\n");
+    double uni_mps = measurePandaUnicast(unicast_msgs, reps);
+    std::fprintf(stderr, "measuring panda broadcast...\n");
+    double bcast_mps = measurePandaBroadcast(broadcast_rounds, reps);
+    long rss = peakRssBytes();
+
+    std::FILE *f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", out.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": 1,\n");
+    std::fprintf(f, "  \"label\": \"%s\",\n", label.c_str());
+    std::fprintf(f, "  \"event_queue\": {\n");
+    std::fprintf(f, "    \"workload_events\": %d,\n", queue_events);
+    std::fprintf(f, "    \"events_per_sec\": %.0f,\n", q_new);
+    std::fprintf(f, "    \"seed_baseline_events_per_sec\": %.0f,\n",
+                 q_seed);
+    std::fprintf(f, "    \"speedup_vs_seed\": %.3f\n", q_new / q_seed);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"simulation\": {\n");
+    std::fprintf(f, "    \"sleep_loop_events_per_sec\": %.0f\n",
+                 sleep_eps);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"panda\": {\n");
+    std::fprintf(f, "    \"unicast_messages_per_sec\": %.0f,\n",
+                 uni_mps);
+    std::fprintf(f, "    \"broadcast_deliveries_per_sec\": %.0f\n",
+                 bcast_mps);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"peak_rss_bytes\": %ld\n", rss);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+
+    std::printf("event queue:      %11.0f events/s (seed baseline "
+                "%.0f, speedup %.2fx)\n",
+                q_new, q_seed, q_new / q_seed);
+    std::printf("sleep loop:       %11.0f events/s\n", sleep_eps);
+    std::printf("panda unicast:    %11.0f messages/s\n", uni_mps);
+    std::printf("panda broadcast:  %11.0f deliveries/s\n", bcast_mps);
+    std::printf("peak RSS:         %11ld bytes\n", rss);
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+}
