@@ -108,6 +108,7 @@ worker(Run &run, Rank self)
                             run.cfg.rowWireBytes(),
                             StampedRow{s, row_k});
         } else {
+            sim::PhaseScope span = m.phase(self, "row-wait");
             auto &buffer = run.reorder[self];
             auto it = buffer.find(k);
             while (it == buffer.end()) {

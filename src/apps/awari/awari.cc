@@ -235,25 +235,29 @@ worker(Run &run, Rank self)
         // Quiescence loop: process whatever has arrived, then check
         // global sent/received totals; two identical consecutive
         // snapshots with sent == received mean the stage is done.
-        magpie::Vec last{-1, -1};
-        for (;;) {
-            double work = 0;
-            while (auto batch = run.combiner.tryRecvBatch(self)) {
-                for (const Item &item : *batch)
-                    processItem(run, self, st, item);
-                work += run.cfg.itemHandlingUnits * batch->size();
-            }
-            run.combiner.flushAll(self);
-            if (work > 0)
-                co_await m.compute(self, cpu, work);
+        {
+            sim::PhaseScope span = m.phase(self, "quiescence");
+            magpie::Vec last{-1, -1};
+            for (;;) {
+                double work = 0;
+                while (auto batch = run.combiner.tryRecvBatch(self)) {
+                    for (const Item &item : *batch)
+                        processItem(run, self, st, item);
+                    work += run.cfg.itemHandlingUnits * batch->size();
+                }
+                run.combiner.flushAll(self);
+                if (work > 0)
+                    co_await m.compute(self, cpu, work);
 
-            magpie::Vec contrib{run.itemsSent[self],
-                                run.itemsReceived[self]};
-            magpie::Vec totals = co_await m.comm().allreduce(
-                self, std::move(contrib), magpie::ReduceOp::sum());
-            if (totals == last && totals[0] == totals[1])
-                break;
-            last = std::move(totals);
+                magpie::Vec contrib{run.itemsSent[self],
+                                    run.itemsReceived[self]};
+                magpie::Vec totals = co_await m.comm().allreduce(
+                    self, std::move(contrib),
+                    magpie::ReduceOp::sum());
+                if (totals == last && totals[0] == totals[1])
+                    break;
+                last = std::move(totals);
+            }
         }
 
         // Whatever survived the fixpoint is a draw.

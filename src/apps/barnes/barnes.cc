@@ -184,26 +184,31 @@ worker(Run &run, Rank self)
         // messages for this iteration (iteration stamps stand in for
         // the strict barrier in the optimized version).
         std::vector<std::vector<Element>> remote(p);
-        int pending = p - 1;
-        auto &buffered = run.early[self][iter];
-        for (LetMsg &msg : buffered) {
-            remote[msg.src] = std::move(msg.elements);
-            --pending;
-        }
-        run.early[self].erase(iter);
-        while (pending > 0) {
-            panda::Message raw = co_await panda.recv(self, letTag);
-            LetMsg msg = raw.take<LetMsg>();
-            if (msg.iter != iter) {
-                run.early[self][msg.iter].push_back(std::move(msg));
-                continue;
+        {
+            sim::PhaseScope span = m.phase(self, "let-collect");
+            int pending = p - 1;
+            auto &buffered = run.early[self][iter];
+            for (LetMsg &msg : buffered) {
+                remote[msg.src] = std::move(msg.elements);
+                --pending;
             }
-            remote[msg.src] = std::move(msg.elements);
-            --pending;
-        }
-        if (!run.optimized) {
-            // Strict BSP barrier closing the communication superstep.
-            co_await m.comm().barrier(self);
+            run.early[self].erase(iter);
+            while (pending > 0) {
+                panda::Message raw =
+                    co_await panda.recv(self, letTag);
+                LetMsg msg = raw.take<LetMsg>();
+                if (msg.iter != iter) {
+                    run.early[self][msg.iter].push_back(
+                        std::move(msg));
+                    continue;
+                }
+                remote[msg.src] = std::move(msg.elements);
+                --pending;
+            }
+            if (!run.optimized) {
+                // Strict BSP barrier closing the superstep.
+                co_await m.comm().barrier(self);
+            }
         }
 
         // Superstep part 3: stall-free force computation.

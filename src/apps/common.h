@@ -20,6 +20,7 @@
 #include "sim/random.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
+#include "sim/trace.h"
 
 namespace tli::apps {
 
@@ -77,6 +78,10 @@ class Machine
           comm_(panda_, algorithm),
           computeSeconds_(topo_.totalRanks(), 0.0)
     {
+        if (scenario.trace) {
+            sim_.setTrace(scenario.trace);
+            scenario.trace->onRunBegin(scenario.describe());
+        }
     }
 
     const core::Scenario &scenario() const { return scenario_; }
@@ -128,8 +133,24 @@ class Machine
     auto
     compute(Rank self, const Cpu &cpu, double units)
     {
-        computeSeconds_[self] += units * cpu.secondsPerUnit();
+        double seconds = units * cpu.secondsPerUnit();
+        computeSeconds_[self] += seconds;
+        if (auto *t = sim_.trace()) {
+            Time now = sim_.now();
+            t->onPhase({self, "compute", now, now + seconds});
+        }
         return cpu.compute(sim_, units);
+    }
+
+    /**
+     * Scoped phase marker: the returned guard emits one "@p name"
+     * span on @p self's timeline from construction to destruction.
+     * Free when no trace sink is attached.
+     */
+    sim::PhaseScope
+    phase(Rank self, const char *name)
+    {
+        return sim::PhaseScope(sim_, self, name);
     }
 
   private:

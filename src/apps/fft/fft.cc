@@ -44,6 +44,7 @@ transposeStep(Run &run, Rank self, Block in, int in_rows, int in_cols,
               int tag)
 {
     Machine &m = run.machine;
+    sim::PhaseScope span = m.phase(self, "transpose");
     const int p = m.size();
     const int my_in_lo = blockLo(self, in_rows, p);
     const int my_in_hi = blockHi(self, in_rows, p);

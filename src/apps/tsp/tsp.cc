@@ -134,10 +134,13 @@ worker(Run &run, Rank self)
     std::uint64_t nodes = 0;
     for (;;) {
         std::optional<Tour> job;
-        if (run.optimized)
-            job = co_await run.distributed.get(self);
-        else
-            job = co_await run.central.get(self);
+        {
+            sim::PhaseScope span = m.phase(self, "job-get");
+            if (run.optimized)
+                job = co_await run.distributed.get(self);
+            else
+                job = co_await run.central.get(self);
+        }
         if (!job)
             break;
         SearchResult r = searchJob(run.dist, *job, run.cutoff);

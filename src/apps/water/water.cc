@@ -164,13 +164,16 @@ worker(Run &run, Rank self)
 
         // All-to-half, phase 1: fetch peer positions (concurrently).
         std::vector<Vec> peer_pos(half.size());
-        sim::Channel<int> done(m.sim());
-        for (std::size_t i = 0; i < half.size(); ++i) {
-            m.sim().spawn(fetchPositions(run, self, half[i], iter,
-                                         peer_pos[i], done));
+        {
+            sim::PhaseScope span = m.phase(self, "fetch");
+            sim::Channel<int> done(m.sim());
+            for (std::size_t i = 0; i < half.size(); ++i) {
+                m.sim().spawn(fetchPositions(run, self, half[i], iter,
+                                             peer_pos[i], done));
+            }
+            for (std::size_t i = 0; i < half.size(); ++i)
+                (void)co_await done.recv();
         }
-        for (std::size_t i = 0; i < half.size(); ++i)
-            (void)co_await done.recv();
 
         // Force computation (the real O(n^2) work).
         std::vector<Vec3> forces(nb);
@@ -218,6 +221,7 @@ worker(Run &run, Rank self)
 
         // Collect the force updates for my molecules.
         if (!contributors.empty()) {
+            sim::PhaseScope span = m.phase(self, "collect");
             Vec remote;
             if (run.reducedUpdates) {
                 remote = co_await run.reducer.collect(self, iter,

@@ -1,0 +1,213 @@
+#include "core/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/logging.h"
+
+namespace tli::core {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter(std::ostream &os, int indentWidth)
+    : os_(os), indentWidth_(indentWidth)
+{
+}
+
+JsonWriter::~JsonWriter()
+{
+    TLI_ASSERT(stack_.empty(),
+               "JsonWriter destroyed with open containers: ",
+               stack_.size());
+    os_ << "\n";
+}
+
+void
+JsonWriter::newline()
+{
+    os_ << "\n";
+    for (std::size_t i = 0;
+         i < stack_.size() * static_cast<std::size_t>(indentWidth_);
+         ++i) {
+        os_ << ' ';
+    }
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty()) {
+        TLI_ASSERT(counts_.empty() || counts_.back() == 0,
+                   "multiple top-level JSON values");
+        return;
+    }
+    if (stack_.back()) {
+        // Object: key() already emitted the separator.
+        TLI_ASSERT(keyPending_, "JSON object value without a key");
+        keyPending_ = false;
+        return;
+    }
+    if (counts_.back() > 0)
+        os_ << ",";
+    newline();
+    counts_.back() += 1;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    TLI_ASSERT(!stack_.empty() && stack_.back(),
+               "JSON key outside an object");
+    TLI_ASSERT(!keyPending_, "two JSON keys in a row");
+    if (counts_.back() > 0)
+        os_ << ",";
+    newline();
+    counts_.back() += 1;
+    os_ << '"' << jsonEscape(k) << "\": ";
+    keyPending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os_ << "{";
+    stack_.push_back(true);
+    counts_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    TLI_ASSERT(!stack_.empty() && stack_.back(),
+               "endObject without beginObject");
+    TLI_ASSERT(!keyPending_, "JSON object closed after a bare key");
+    bool empty = counts_.back() == 0;
+    stack_.pop_back();
+    counts_.pop_back();
+    if (!empty)
+        newline();
+    os_ << "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os_ << "[";
+    stack_.push_back(false);
+    counts_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    TLI_ASSERT(!stack_.empty() && !stack_.back(),
+               "endArray without beginArray");
+    bool empty = counts_.back() == 0;
+    stack_.pop_back();
+    counts_.pop_back();
+    if (!empty)
+        newline();
+    os_ << "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    os_ << '"' << jsonEscape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (!std::isfinite(v)) {
+        // JSON has no Infinity/NaN; null is the conventional stand-in.
+        os_ << "null";
+        return *this;
+    }
+    char buf[32];
+    // %.12g: round-trips every value this project produces while
+    // keeping reports human-readable (no 17-digit noise).
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    os_ << "null";
+    return *this;
+}
+
+} // namespace tli::core

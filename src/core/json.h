@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A small streaming JSON writer: the single place the project formats
+ * JSON (run reports, sweep output, bench reports), so escaping, number
+ * formatting and structural validity are handled once.
+ */
+
+#ifndef TWOLAYER_CORE_JSON_H_
+#define TWOLAYER_CORE_JSON_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tli::core {
+
+/** JSON string-escape @p s (control characters, quotes, backslash). */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Streaming writer producing pretty-printed, strictly valid JSON.
+ * Usage mirrors the document structure:
+ *
+ *   JsonWriter w(os);
+ *   w.beginObject()
+ *       .field("schema", "tli-run-report-v1")
+ *       .key("runs").beginArray().value(1).value(2).endArray()
+ *   .endObject();
+ *
+ * Structural misuse (a value where a key is required, unbalanced
+ * nesting at destruction) trips an assertion — callers never see
+ * malformed output silently.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, int indentWidth = 2);
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next call must produce its value. */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(unsigned v)
+    {
+        return value(static_cast<std::uint64_t>(v));
+    }
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(std::string_view k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+  private:
+    void beforeValue();
+    void newline();
+
+    std::ostream &os_;
+    int indentWidth_;
+    /** One frame per open container: true = object, false = array. */
+    std::vector<bool> stack_;
+    /** Elements already written in each open container. */
+    std::vector<std::size_t> counts_;
+    bool keyPending_ = false;
+};
+
+} // namespace tli::core
+
+#endif // TWOLAYER_CORE_JSON_H_

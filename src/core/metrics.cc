@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "core/json.h"
 #include "sim/logging.h"
 
 namespace tli::core {
@@ -59,6 +60,32 @@ Surface::writeCsv(std::ostream &os) const
                << values[i][j] << "\n";
         }
     }
+}
+
+void
+Surface::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "tli-surface-v1");
+    w.field("title", title);
+    w.key("latencies_ms").beginArray();
+    for (double lat : latenciesMs)
+        w.value(lat);
+    w.endArray();
+    w.key("bandwidths_mbs").beginArray();
+    for (double bw : bandwidthsMBs)
+        w.value(bw);
+    w.endArray();
+    w.key("values").beginArray();
+    for (const auto &row : values) {
+        w.beginArray();
+        for (double v : row)
+            w.value(v);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
 }
 
 TextTable::TextTable(std::vector<std::string> headers)

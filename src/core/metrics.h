@@ -45,6 +45,13 @@ struct Surface
      * line per grid point, with a header row.
      */
     void writeCsv(std::ostream &os) const;
+
+    /**
+     * JSON sibling of writeCsv(): an object with the title, both axes
+     * and the values[lat][bw] grid, rendered through the project's
+     * JsonWriter (schema "tli-surface-v1").
+     */
+    void writeJson(std::ostream &os) const;
 };
 
 /** A simple left-aligned text table for bench reports. */

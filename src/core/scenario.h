@@ -14,6 +14,10 @@
 #include "net/config.h"
 #include "net/fabric.h"
 
+namespace tli::sim {
+class TraceSink;
+}
+
 namespace tli::core {
 
 /**
@@ -53,6 +57,15 @@ struct Scenario
     /** Workload scale factor relative to each app's default input. */
     double problemScale = 1.0;
     std::uint64_t seed = 42;
+
+    /**
+     * Observability sink the run's Simulation is wired to (see
+     * sim/trace.h). Not owned; null (the default) traces nothing and
+     * leaves the run bit-identical to an untraced one. Copied by the
+     * as*() derivations — clear it on derived scenarios whose runs
+     * should stay out of the trace.
+     */
+    sim::TraceSink *trace = nullptr;
 
     int totalRanks() const { return clusters * procsPerCluster; }
 
@@ -101,8 +114,8 @@ struct RunResult
 {
     /** Simulated wall time of the measured phase, seconds. */
     double runTime = 0;
-    /** Fabric traffic during the measured phase. */
-    net::TrafficStats traffic;
+    /** Fabric traffic snapshot covering the measured phase. */
+    net::FabricStats traffic;
     /** Application-defined correctness digest. */
     double checksum = 0;
     /** Digest matched the sequential reference. */

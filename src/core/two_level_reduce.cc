@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/trace.h"
+
 namespace tli::core {
 
 namespace {
@@ -73,6 +75,7 @@ sim::Task<magpie::Vec>
 TwoLevelReducer::collect(Rank self, std::int64_t epoch,
                          int clusters_expected)
 {
+    sim::PhaseScope span(panda_.simulation(), self, "reduce");
     magpie::Vec total;
     int got = 0;
     auto &early = earlyPartials_[self];

@@ -21,6 +21,7 @@
 
 #include "panda/panda.h"
 #include "sim/task.h"
+#include "sim/trace.h"
 
 namespace tli::core {
 
@@ -212,6 +213,8 @@ class DistributedWorkQueue
                 co_return;
             if (queue.empty()) {
                 // Steal round: ask each other cluster in turn.
+                sim::PhaseScope span(panda_.simulation(), host,
+                                     "steal");
                 for (int off = 1; off < topo.clusterCount(); ++off) {
                     ClusterId victim =
                         (mine + off) % topo.clusterCount();

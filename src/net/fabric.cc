@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "sim/trace.h"
+
 namespace tli::net {
 
 Fabric::Fabric(sim::Simulation &sim, const Topology &topo,
@@ -42,7 +44,7 @@ Fabric::Fabric(sim::Simulation &sim, const Topology &topo,
         gatewayOut_.emplace_back(params_.gateway);
         gatewayIn_.emplace_back(inbound);
     }
-    stats_.interPerCluster.resize(clusters);
+    interPerCluster_.resize(clusters);
 }
 
 void
@@ -57,12 +59,22 @@ Fabric::send(Rank src, Rank dst, std::uint64_t bytes,
     if (src == dst) {
         // Loopback: charge only the per-message protocol cost.
         arrival = now + params_.local.perMessageCost;
-        stats_.intra.messages += 1;
-        stats_.intra.bytes += bytes;
+        intra_.messages += 1;
+        intra_.bytes += bytes;
+        if (auto *t = sim_.trace()) {
+            t->onMessage({traceSeq_++, src, dst, 1, bytes, false, sc,
+                          dc, now, arrival, arrival, arrival,
+                          arrival});
+        }
     } else if (sc == dc) {
         arrival = nics_[src].transmit(now, bytes);
-        stats_.intra.messages += 1;
-        stats_.intra.bytes += bytes;
+        intra_.messages += 1;
+        intra_.bytes += bytes;
+        if (auto *t = sim_.trace()) {
+            t->onMessage({traceSeq_++, src, dst, 1, bytes, false, sc,
+                          dc, now, arrival, arrival, arrival,
+                          arrival});
+        }
     } else {
         // Hop to the local gateway over the sender's NIC...
         Time at_gateway = nics_[src].transmit(now, bytes);
@@ -74,13 +86,19 @@ Fabric::send(Rank src, Rank dst, std::uint64_t bytes,
         arrival = gatewayIn_[dc].transmit(at_remote_gw, bytes);
         arrival = inOrder(src, dst, arrival + wanLatencyAdjust());
 
-        stats_.intra.messages += 2; // gateway hops on both sides
-        stats_.intra.bytes += 2 * bytes;
-        stats_.inter.messages += 1;
-        stats_.inter.bytes += bytes;
-        LinkStats &per = stats_.interPerCluster[sc];
+        intra_.messages += 2; // gateway hops on both sides
+        intra_.bytes += 2 * bytes;
+        inter_.messages += 1;
+        inter_.bytes += bytes;
+        wanTransit_ += at_remote_gw - gw_done;
+        LinkStats &per = interPerCluster_[sc];
         per.messages += 1;
         per.bytes += bytes;
+        if (auto *t = sim_.trace()) {
+            t->onMessage({traceSeq_++, src, dst, 1, bytes, true, sc,
+                          dc, now, at_gateway, gw_done, at_remote_gw,
+                          arrival});
+        }
     }
 
     sim_.scheduleAt(arrival, std::move(deliver));
@@ -111,8 +129,14 @@ Fabric::multicastLocal(Rank src, const std::vector<Rank> &dsts,
         return;
     const Time now = sim_.now();
     Time arrival = nics_[src].transmit(now, bytes);
-    stats_.intra.messages += 1;
-    stats_.intra.bytes += bytes;
+    intra_.messages += 1;
+    intra_.bytes += bytes;
+    if (auto *t = sim_.trace()) {
+        const ClusterId sc = topo_.clusterOf(src);
+        t->onMessage({traceSeq_++, src, dsts.front(),
+                      static_cast<int>(dsts.size()), bytes, false, sc,
+                      sc, now, arrival, arrival, arrival, arrival});
+    }
     // Share one copy of the handler: the per-destination events then
     // capture (shared_ptr, Rank), which stays inside EventFn's inline
     // buffer regardless of the handler's own capture size.
@@ -149,13 +173,20 @@ Fabric::multicastToCluster(Rank src, ClusterId dc,
     for (Rank d : dsts)
         arrival = std::max(arrival, lastDelivery_[orderIndex(src, d)]);
 
-    stats_.intra.messages += 2;
-    stats_.intra.bytes += 2 * bytes;
-    stats_.inter.messages += 1;
-    stats_.inter.bytes += bytes;
-    LinkStats &per = stats_.interPerCluster[sc];
+    intra_.messages += 2;
+    intra_.bytes += 2 * bytes;
+    inter_.messages += 1;
+    inter_.bytes += bytes;
+    wanTransit_ += at_remote_gw - gw_done;
+    LinkStats &per = interPerCluster_[sc];
     per.messages += 1;
     per.bytes += bytes;
+    if (auto *t = sim_.trace()) {
+        t->onMessage({traceSeq_++, src, dsts.front(),
+                      static_cast<int>(dsts.size()), bytes, true, sc,
+                      dc, now, at_gateway, gw_done, at_remote_gw,
+                      arrival});
+    }
 
     auto handler =
         std::make_shared<std::function<void(Rank)>>(std::move(deliver));
@@ -243,12 +274,15 @@ Fabric::probeWanTransit(ClusterId sc, ClusterId dc, Time at,
 }
 
 std::size_t
-Fabric::firstWanHop(ClusterId a, ClusterId b) const
+firstWanHopIndex(WanTopology topology, int clusters, ClusterId a,
+                 ClusterId b)
 {
-    const int clusters = topo_.clusterCount();
-    switch (params_.wanTopology) {
+    TLI_ASSERT(a >= 0 && a < clusters && b >= 0 && b < clusters,
+               "wanLink cluster out of range: ", a, ", ", b);
+    TLI_ASSERT(a != b, "wanLink needs distinct clusters, got ", a);
+    switch (topology) {
       case WanTopology::fullyConnected:
-        return wanPairIndex(a, b);
+        return static_cast<std::size_t>(a) * clusters + b;
       case WanTopology::star:
         // The up-link of the source cluster.
         return static_cast<std::size_t>(a);
@@ -263,13 +297,21 @@ Fabric::firstWanHop(ClusterId a, ClusterId b) const
 }
 
 const LinkStats &
-Fabric::wanLinkStats(ClusterId a, ClusterId b) const
+FabricStats::wanLink(ClusterId a, ClusterId b) const
 {
-    const int clusters = topo_.clusterCount();
-    TLI_ASSERT(a >= 0 && a < clusters && b >= 0 && b < clusters,
-               "wanLinkStats cluster out of range: ", a, ", ", b);
-    TLI_ASSERT(a != b, "wanLinkStats needs distinct clusters, got ", a);
-    return wanLinks_[firstWanHop(a, b)].stats();
+    return wanLinks[firstWanHopIndex(wanTopology, clusters, a, b)]
+        .stats;
+}
+
+double
+FabricStats::maxWanUtilization(Time elapsed) const
+{
+    if (elapsed <= 0)
+        return 0;
+    Time busiest = 0;
+    for (const WanLinkEntry &link : wanLinks)
+        busiest = std::max(busiest, link.stats.busyTime);
+    return busiest / elapsed;
 }
 
 Time
@@ -291,26 +333,69 @@ Fabric::inOrder(Rank src, Rank dst, Time arrival)
     return arrival;
 }
 
-double
-Fabric::maxWanUtilization(Time elapsed) const
+FabricStats
+Fabric::stats() const
 {
-    if (elapsed <= 0)
-        return 0;
-    Time busiest = 0;
-    for (const Link &link : wanLinks_) {
-        if (link.stats().busyTime > busiest)
-            busiest = link.stats().busyTime;
+    const int clusters = topo_.clusterCount();
+    FabricStats s;
+    s.wanTopology = params_.wanTopology;
+    s.clusters = clusters;
+    s.intra = intra_;
+    s.inter = inter_;
+    s.interPerCluster = interPerCluster_;
+    s.wanTransit = wanTransit_;
+
+    s.wanLinks.reserve(wanLinks_.size());
+    const bool full =
+        params_.wanTopology == WanTopology::fullyConnected;
+    const bool star = params_.wanTopology == WanTopology::star;
+    for (std::size_t i = 0; i < wanLinks_.size(); ++i) {
+        WanLinkEntry e;
+        e.stats = wanLinks_[i].stats();
+        if (full) {
+            e.a = static_cast<ClusterId>(i) / clusters;
+            e.b = static_cast<ClusterId>(i) % clusters;
+            e.kind = "pair";
+        } else {
+            const bool second = i >= static_cast<std::size_t>(clusters);
+            e.a = static_cast<ClusterId>(
+                i % static_cast<std::size_t>(clusters));
+            e.kind = star ? (second ? "down" : "up")
+                          : (second ? "ccw" : "cw");
+        }
+        s.wanLinks.push_back(e);
     }
-    return busiest / elapsed;
+
+    s.nics.reserve(nics_.size());
+    for (const Link &nic : nics_)
+        s.nics.push_back(nic.stats());
+    s.gatewayOut.reserve(gatewayOut_.size());
+    s.gatewayIn.reserve(gatewayIn_.size());
+    for (int c = 0; c < clusters; ++c) {
+        s.gatewayOut.push_back(gatewayOut_[c].stats());
+        s.gatewayIn.push_back(gatewayIn_[c].stats());
+    }
+    return s;
 }
 
 void
 Fabric::resetStats()
 {
-    stats_.intra = LinkStats{};
-    stats_.inter = LinkStats{};
-    for (auto &s : stats_.interPerCluster)
+    intra_ = LinkStats{};
+    inter_ = LinkStats{};
+    for (auto &s : interPerCluster_)
         s = LinkStats{};
+    wanTransit_ = 0;
+    for (Link &l : nics_)
+        l.resetStats();
+    for (Link &l : wanLinks_)
+        l.resetStats();
+    for (Link &l : gatewayOut_)
+        l.resetStats();
+    for (Link &l : gatewayIn_)
+        l.resetStats();
+    if (auto *t = sim_.trace())
+        t->onMeasurementStart(sim_.now());
 }
 
 } // namespace tli::net

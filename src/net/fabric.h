@@ -70,14 +70,82 @@ struct FabricParams
     std::uint64_t jitterSeed = 0x1234;
 };
 
-/** Aggregated fabric usage, split by layer. */
-struct TrafficStats
+/**
+ * One physical wide-area link's usage, labeled with its place in the
+ * configured WAN shape: a dedicated ("pair") link of the fully
+ * connected mesh, a star access link ("up"/"down"), or a ring hop
+ * ("cw"/"ccw"). @c b is the far cluster for pair links and
+ * invalidCluster for the single-ended star/ring links.
+ */
+struct WanLinkEntry
 {
+    ClusterId a = invalidCluster;
+    ClusterId b = invalidCluster;
+    const char *kind = "";
+    LinkStats stats;
+};
+
+/**
+ * One consistent snapshot of every fabric counter, taken by
+ * Fabric::stats(). This is the single stats surface: layer aggregates,
+ * per-cluster outbound traffic, per-WAN-link, per-NIC, and per-gateway
+ * usage, all covering the interval since the last resetStats().
+ */
+struct FabricStats
+{
+    WanTopology wanTopology = WanTopology::fullyConnected;
+    int clusters = 0;
+
+    /** Local-layer aggregate (NIC + gateway-local hops). */
     LinkStats intra;
+    /** Wide-area aggregate. */
     LinkStats inter;
     /** Outbound wide-area traffic per source cluster. */
     std::vector<LinkStats> interPerCluster;
+    /**
+     * Total gateway-to-gateway wide-area transit time, summed over
+     * messages (queueing + serialization + propagation, before
+     * jitter). The per-message "wan" trace spans sum to exactly this.
+     */
+    Time wanTransit = 0;
+
+    /**
+     * Every wide-area link, indexed as the fabric allocates them
+     * (fully connected: [a*C + b] incl. unused diagonals; star/ring:
+     * up/cw [0, C) then down/ccw [C, 2C)). Use wanLink() for
+     * route-aware lookup.
+     */
+    std::vector<WanLinkEntry> wanLinks;
+    /** Outbound NIC usage per rank. */
+    std::vector<LinkStats> nics;
+    /** Per-cluster gateway protocol usage, by direction. */
+    std::vector<LinkStats> gatewayOut;
+    std::vector<LinkStats> gatewayIn;
+
+    /**
+     * Usage of the wide-area link a transfer from cluster @p a to
+     * cluster @p b serializes on first. Topology-aware: fully
+     * connected reports the dedicated (a, b) link, star the up-link
+     * of @p a, ring the first hop of the shorter arc. Asserts that
+     * @p a and @p b are distinct, valid clusters.
+     */
+    const LinkStats &wanLink(ClusterId a, ClusterId b) const;
+
+    /**
+     * Occupancy of the busiest wide-area link as a fraction of
+     * @p elapsed seconds — 1.0 means some cluster pair's link was
+     * saturated for the whole interval.
+     */
+    double maxWanUtilization(Time elapsed) const;
 };
+
+/**
+ * Index of the first wide-area link a (a -> b) transfer crosses under
+ * @p topology with @p clusters clusters. Shared by the fabric's
+ * routing and FabricStats::wanLink so the two can never diverge.
+ */
+std::size_t firstWanHopIndex(WanTopology topology, int clusters,
+                             ClusterId a, ClusterId b);
 
 /**
  * The routed two-layer fabric.
@@ -129,47 +197,19 @@ class Fabric
 
     const Topology &topology() const { return topo_; }
     const FabricParams &params() const { return params_; }
-    const TrafficStats &stats() const { return stats_; }
 
     /**
-     * Usage counters of the wide-area link a transfer from cluster
-     * @p a to cluster @p b serializes on first. Topology-aware:
-     * fully connected reports the dedicated (a, b) link, star the
-     * up-link of @p a, ring the first hop of the shorter arc.
-     * Asserts that @p a and @p b are distinct, valid clusters.
+     * One consistent snapshot of every fabric counter (layer
+     * aggregates, per-link, per-NIC, per-gateway), covering the
+     * interval since the last resetStats().
      */
-    const LinkStats &wanLinkStats(ClusterId a, ClusterId b) const;
-
-    /** Usage counters of one rank's outbound NIC. */
-    const LinkStats &
-    nicStats(Rank r) const
-    {
-        return nics_[r].stats();
-    }
-
-    /** Usage counters of a cluster's gateway (out / in direction). */
-    const LinkStats &
-    gatewayOutStats(ClusterId c) const
-    {
-        return gatewayOut_[c].stats();
-    }
-
-    const LinkStats &
-    gatewayInStats(ClusterId c) const
-    {
-        return gatewayIn_[c].stats();
-    }
+    FabricStats stats() const;
 
     /**
-     * Occupancy of the busiest wide-area link as a fraction of
-     * @p elapsed seconds — 1.0 means some cluster pair's link was
-     * saturated for the whole interval.
-     */
-    double maxWanUtilization(Time elapsed) const;
-
-    /**
-     * Reset traffic counters (used to exclude startup phases from
-     * measurements, as the paper does).
+     * Reset every traffic counter — aggregates and per-link alike —
+     * so the next stats() snapshot covers only the measured phase
+     * (the paper excludes startup the same way). Notifies the trace
+     * sink, so aggregating sinks stay in lockstep with the counters.
      */
     void resetStats();
 
@@ -203,9 +243,6 @@ class Fabric
     template <typename HopFn>
     Time routeWan(ClusterId sc, ClusterId dc, Time at,
                   std::uint64_t bytes, HopFn &&hop) const;
-
-    /** Index of the first link routeWan() crosses for (a -> b). */
-    std::size_t firstWanHop(ClusterId a, ClusterId b) const;
 
     /** Sampled latency perturbation for one wide-area message. */
     Time wanLatencyAdjust();
@@ -252,7 +289,13 @@ class Fabric
      *  (also covers the final local hop to the destination). */
     std::vector<Link> gatewayIn_;
 
-    TrafficStats stats_;
+    /** Running layer aggregates; stats() merges in per-link counters. */
+    LinkStats intra_;
+    LinkStats inter_;
+    std::vector<LinkStats> interPerCluster_;
+    Time wanTransit_ = 0;
+    /** Next MessageTrace id (advanced only while a sink is attached). */
+    std::uint64_t traceSeq_ = 0;
 };
 
 } // namespace tli::net

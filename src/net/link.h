@@ -101,6 +101,9 @@ class Link
     const LinkParams &params() const { return params_; }
     const LinkStats &stats() const { return stats_; }
 
+    /** Zero the usage counters; the busy horizon is untouched. */
+    void resetStats() { stats_ = LinkStats{}; }
+
   private:
     Time
     occupancyOf(std::uint64_t bytes) const

@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/trace.h"
+
 namespace tli::panda {
 
 SequencerService::SequencerService(Panda &panda, int tag,
@@ -67,6 +69,7 @@ SequencerService::server(Rank self)
 sim::Task<std::int64_t>
 SequencerService::acquire(Rank self, Rank host)
 {
+    sim::PhaseScope span(panda_.simulation(), self, "sequencer");
     Message reply = co_await panda_.rpc(self, host, tag_, sizeof(Ctl),
                                         Ctl{Kind::request});
     co_return reply.as<std::int64_t>();

@@ -18,6 +18,8 @@
 
 namespace tli::sim {
 
+class TraceSink;
+
 /**
  * A single-threaded deterministic discrete-event simulation.
  *
@@ -110,7 +112,17 @@ class Simulation
     /** Number of spawned processes. */
     std::size_t spawnedProcesses() const { return processes_.size(); }
 
+    /**
+     * The observability hook (see sim/trace.h). Null by default:
+     * instrumentation points guard every emission with one pointer
+     * test, so an untraced simulation pays nothing and runs
+     * bit-identically to a traced one. The sink is not owned.
+     */
+    TraceSink *trace() const { return trace_; }
+    void setTrace(TraceSink *sink) { trace_ = sink; }
+
   private:
+    TraceSink *trace_ = nullptr;
     Time now_ = 0;
     EventQueue events_;
     std::uint64_t eventsProcessed_ = 0;

@@ -1,0 +1,137 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace tli::sim {
+
+namespace {
+
+/** Microsecond timestamp for the trace-event "ts"/"dur" fields. */
+double
+micros(Time t)
+{
+    return t * 1e6;
+}
+
+/** Minimal JSON string escaping for event names and labels. */
+std::string
+escaped(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+ChromeTraceSink::ChromeTraceSink(std::ostream &os) : os_(os)
+{
+    os_ << "[";
+}
+
+ChromeTraceSink::~ChromeTraceSink()
+{
+    close();
+}
+
+void
+ChromeTraceSink::close()
+{
+    if (closed_)
+        return;
+    os_ << "\n]\n";
+    os_.flush();
+    closed_ = true;
+}
+
+void
+ChromeTraceSink::event(const char *name, const char *cat, char ph,
+                       Time ts, Time dur, int tid,
+                       const std::string &args)
+{
+    TLI_ASSERT(!closed_, "trace event after close()");
+    os_ << (first_ ? "\n" : ",\n");
+    first_ = false;
+    os_ << "{\"name\":\"" << name << "\",\"cat\":\"" << cat
+        << "\",\"ph\":\"" << ph << "\",\"ts\":" << micros(ts);
+    if (ph == 'X')
+        os_ << ",\"dur\":" << micros(dur);
+    if (ph == 'i')
+        os_ << ",\"s\":\"p\"";
+    os_ << ",\"pid\":" << pid_ << ",\"tid\":" << tid;
+    if (!args.empty())
+        os_ << ",\"args\":{" << args << "}";
+    os_ << "}";
+}
+
+void
+ChromeTraceSink::onRunBegin(const std::string &label)
+{
+    ++pid_;
+    TLI_ASSERT(!closed_, "trace event after close()");
+    os_ << (first_ ? "\n" : ",\n");
+    first_ = false;
+    os_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid_
+        << ",\"args\":{\"name\":\"" << escaped(label) << "\"}}";
+}
+
+void
+ChromeTraceSink::onMessage(const MessageTrace &m)
+{
+    std::ostringstream args;
+    args << "\"msg\":" << m.id << ",\"dst\":" << m.dst
+         << ",\"bytes\":" << m.bytes;
+    if (m.fanout > 1)
+        args << ",\"fanout\":" << m.fanout;
+    const std::string a = args.str();
+    if (!m.inter) {
+        span("local", m.enqueue, m.deliver, m.src, a);
+        return;
+    }
+    span("nic", m.enqueue, m.nicDone, m.src, a);
+    span("gw-out", m.nicDone, m.gatewayDone, m.src, a);
+    span("wan", m.gatewayDone, m.wanDone, m.src, a);
+    span("gw-in", m.wanDone, m.deliver, m.src, a);
+}
+
+void
+ChromeTraceSink::onPhase(const PhaseTrace &p)
+{
+    event(p.name, "phase", 'X', p.begin, p.end - p.begin, p.rank, "");
+}
+
+void
+ChromeTraceSink::onMeasurementStart(Time now)
+{
+    event("measurement-start", "marker", 'i', now, 0, 0, "");
+}
+
+} // namespace tli::sim

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The observability layer: per-message lifecycle events and per-rank
+ * phase markers flow from instrumentation points (the fabric's hop
+ * accounting, the applications' phase scopes) into a TraceSink.
+ *
+ * Tracing is strictly observational and zero-overhead when disabled:
+ * every emission site is guarded by a single null check on the
+ * simulation's sink pointer, sinks never mutate simulation state, and
+ * no random stream or event is consumed on their behalf — a traced run
+ * is bit-identical to an untraced one.
+ */
+
+#ifndef TWOLAYER_SIM_TRACE_H_
+#define TWOLAYER_SIM_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/types.h"
+
+namespace tli::sim {
+
+/**
+ * One message's full lifecycle through the two-layer fabric, emitted
+ * once per send at injection time (the discrete-event model computes
+ * the whole timeline up front). For an intra-cluster message the
+ * gateway and WAN stamps collapse onto @c nicDone.
+ */
+struct MessageTrace
+{
+    /** Sequential id, unique within one fabric's trace stream. */
+    std::uint64_t id = 0;
+    Rank src = invalidNode;
+    /** First destination; multicasts fan out to @c fanout ranks. */
+    Rank dst = invalidNode;
+    /** Number of ranks this delivery fans out to (1 for unicast). */
+    int fanout = 1;
+    std::uint64_t bytes = 0;
+    /** Crossed the wide area. */
+    bool inter = false;
+    ClusterId srcCluster = invalidCluster;
+    ClusterId dstCluster = invalidCluster;
+
+    /** Lifecycle stamps: enqueue -> NIC serialize -> gateway queue ->
+     *  WAN transit -> deliver. */
+    Time enqueue = 0;     ///< send() call time
+    Time nicDone = 0;     ///< sender NIC serialization complete
+    Time gatewayDone = 0; ///< source gateway protocol stack done
+    Time wanDone = 0;     ///< reached the destination gateway
+    Time deliver = 0;     ///< delivered (after jitter/order clamp)
+};
+
+/** One named span of one rank's time (compute, reduce, steal, ...). */
+struct PhaseTrace
+{
+    Rank rank = invalidNode;
+    /** Static-storage phase name ("compute", "steal", ...). */
+    const char *name = "";
+    Time begin = 0;
+    Time end = 0;
+};
+
+/**
+ * Receiver of trace events. Implementations override what they need;
+ * defaults ignore everything. One sink may observe several runs in
+ * sequence (a sweep): each Machine announces itself via onRunBegin().
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** A new simulation run starts emitting into this sink. */
+    virtual void onRunBegin(const std::string &label) { (void)label; }
+
+    /** One message's computed lifecycle, emitted at injection time. */
+    virtual void onMessage(const MessageTrace &m) { (void)m; }
+
+    /** One completed phase span. */
+    virtual void onPhase(const PhaseTrace &p) { (void)p; }
+
+    /**
+     * Statistics were reset at @p now (the end of the startup phase):
+     * aggregating sinks discard what they accumulated so far so their
+     * totals match the fabric's post-reset counters exactly.
+     */
+    virtual void onMeasurementStart(Time now) { (void)now; }
+};
+
+/**
+ * Scope guard emitting one PhaseTrace for [construction, destruction)
+ * on the owning rank's timeline. Safe across co_await suspension
+ * points: the span closes when the coroutine leaves the scope. A
+ * no-op (one pointer test) when the simulation has no sink.
+ */
+class PhaseScope
+{
+  public:
+    PhaseScope(Simulation &sim, Rank rank, const char *name)
+        : sim_(sim.trace() ? &sim : nullptr), rank_(rank), name_(name),
+          begin_(sim.now())
+    {
+    }
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+
+    ~PhaseScope()
+    {
+        if (sim_)
+            sim_->trace()->onPhase(
+                {rank_, name_, begin_, sim_->now()});
+    }
+
+  private:
+    Simulation *sim_;
+    Rank rank_;
+    const char *name_;
+    Time begin_;
+};
+
+/** Fan one trace stream out to several sinks (e.g. file + report). */
+class TeeSink : public TraceSink
+{
+  public:
+    explicit TeeSink(std::vector<TraceSink *> sinks)
+        : sinks_(std::move(sinks))
+    {
+    }
+
+    void
+    onRunBegin(const std::string &label) override
+    {
+        for (TraceSink *s : sinks_)
+            s->onRunBegin(label);
+    }
+
+    void
+    onMessage(const MessageTrace &m) override
+    {
+        for (TraceSink *s : sinks_)
+            s->onMessage(m);
+    }
+
+    void
+    onPhase(const PhaseTrace &p) override
+    {
+        for (TraceSink *s : sinks_)
+            s->onPhase(p);
+    }
+
+    void
+    onMeasurementStart(Time now) override
+    {
+        for (TraceSink *s : sinks_)
+            s->onMeasurementStart(now);
+    }
+
+  private:
+    std::vector<TraceSink *> sinks_;
+};
+
+/**
+ * Streams Chrome trace-event JSON (the format chrome://tracing and
+ * Perfetto load): per-message lifecycle segments as complete ("X")
+ * events on the sending rank's row, phase spans on the rank's row
+ * under the "phase" category, and an instant marker at measurement
+ * start. Each run observed becomes its own process (pid), named after
+ * the run label, so a sweep's cells land on separate tracks.
+ *
+ * The stream is a plain JSON array; close() (or destruction) writes
+ * the closing bracket, after which the file parses with any strict
+ * JSON parser.
+ */
+class ChromeTraceSink : public TraceSink
+{
+  public:
+    explicit ChromeTraceSink(std::ostream &os);
+    ~ChromeTraceSink() override;
+
+    void onRunBegin(const std::string &label) override;
+    void onMessage(const MessageTrace &m) override;
+    void onPhase(const PhaseTrace &p) override;
+    void onMeasurementStart(Time now) override;
+
+    /** Terminate the JSON array; further events are rejected. */
+    void close();
+
+  private:
+    void event(const char *name, const char *cat, char ph, Time ts,
+               Time dur, int tid, const std::string &args);
+    void
+    span(const char *name, Time begin, Time end, int tid,
+         const std::string &args)
+    {
+        event(name, "msg", 'X', begin, end - begin, tid, args);
+    }
+
+    std::ostream &os_;
+    int pid_ = 0;
+    bool first_ = true;
+    bool closed_ = false;
+};
+
+} // namespace tli::sim
+
+#endif // TWOLAYER_SIM_TRACE_H_

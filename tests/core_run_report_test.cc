@@ -1,0 +1,223 @@
+/**
+ * @file
+ * ReportSink aggregation and the tli-run-report-v1 document: totals
+ * stay in lockstep with the fabric's counters across measurement
+ * resets, and the written JSON round-trips its headline fields.
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.h"
+#include "core/json.h"
+#include "core/metrics.h"
+#include "core/run_report.h"
+#include "core/scenario.h"
+
+namespace tli {
+namespace {
+
+sim::MessageTrace
+interMessage(ClusterId src_cluster, ClusterId dst_cluster,
+             std::uint64_t bytes, Time gw_done, Time wan_done)
+{
+    sim::MessageTrace m;
+    m.src = src_cluster;
+    m.dst = dst_cluster;
+    m.bytes = bytes;
+    m.inter = true;
+    m.srcCluster = src_cluster;
+    m.dstCluster = dst_cluster;
+    m.enqueue = gw_done;
+    m.nicDone = gw_done;
+    m.gatewayDone = gw_done;
+    m.wanDone = wan_done;
+    m.deliver = wan_done;
+    return m;
+}
+
+TEST(ReportSink, AggregatesPhasesPairsAndTimeline)
+{
+    core::ReportSink sink(1.0); // 1 s buckets
+    sink.onRunBegin("run-a");
+    sink.onPhase({0, "compute", 0.0, 2.0});
+    sink.onPhase({1, "compute", 0.0, 3.0});
+    sink.onPhase({0, "steal", 2.0, 2.5});
+    sink.onMessage(interMessage(0, 1, 100, 0.5, 1.5));
+    sink.onMessage(interMessage(0, 1, 300, 2.5, 3.0));
+    sink.onMessage(interMessage(1, 0, 50, 0.25, 0.75));
+
+    ASSERT_EQ(sink.runs().size(), 1u);
+    EXPECT_EQ(sink.runs()[0], "run-a");
+    ASSERT_EQ(sink.phases().size(), 2u);
+    const auto &compute = sink.phases().at("compute");
+    EXPECT_EQ(compute.count, 2u);
+    EXPECT_DOUBLE_EQ(compute.seconds, 5.0);
+    EXPECT_DOUBLE_EQ(sink.phases().at("steal").seconds, 0.5);
+
+    ASSERT_EQ(sink.clusterPairs().size(), 2u);
+    const auto &ab = sink.clusterPairs().at({0, 1});
+    EXPECT_EQ(ab.messages, 2u);
+    EXPECT_EQ(ab.bytes, 400u);
+    EXPECT_DOUBLE_EQ(ab.wanSeconds, 1.5);
+
+    EXPECT_EQ(sink.messages(), 3u);
+    EXPECT_EQ(sink.interMessages(), 3u);
+    EXPECT_DOUBLE_EQ(sink.wanTransit(), 2.0);
+
+    // gatewayDone 0.5 and 0.25 land in bucket 0, 2.5 in bucket 2.
+    ASSERT_EQ(sink.timeline().size(), 3u);
+    EXPECT_EQ(sink.timeline()[0].messages, 2u);
+    EXPECT_EQ(sink.timeline()[1].messages, 0u);
+    EXPECT_EQ(sink.timeline()[2].messages, 1u);
+}
+
+TEST(ReportSink, MeasurementStartClearsAggregates)
+{
+    core::ReportSink sink;
+    sink.onPhase({0, "compute", 0.0, 1.0});
+    sink.onMessage(interMessage(0, 1, 100, 0.5, 1.5));
+    sink.onMeasurementStart(2.0);
+    EXPECT_TRUE(sink.phases().empty());
+    EXPECT_TRUE(sink.clusterPairs().empty());
+    EXPECT_TRUE(sink.timeline().empty());
+    EXPECT_EQ(sink.messages(), 0u);
+    EXPECT_DOUBLE_EQ(sink.wanTransit(), 0.0);
+    EXPECT_DOUBLE_EQ(sink.measurementStart(), 2.0);
+    // The run list survives: it identifies the sink's stream.
+    sink.onRunBegin("after");
+    EXPECT_EQ(sink.runs().size(), 1u);
+}
+
+TEST(ReportSink, StaysInLockstepWithFabricCounters)
+{
+    // The reset notification keeps the sink's totals equal to the
+    // post-reset FabricStats — to the bit, not approximately.
+    core::Scenario s;
+    s.clusters = 2;
+    s.procsPerCluster = 2;
+    s.problemScale = 0.05;
+    core::ReportSink sink;
+    s.trace = &sink;
+    core::RunResult r = apps::findVariant("water", "opt").run(s);
+    EXPECT_GT(sink.wanTransit(), 0.0);
+    EXPECT_EQ(sink.wanTransit(), r.traffic.wanTransit);
+    EXPECT_EQ(sink.interMessages(), r.traffic.inter.messages);
+}
+
+/** First number following `"key": ` in @p json, or NaN. */
+double
+extractNumber(const std::string &json, const std::string &key)
+{
+    std::string needle = "\"" + key + "\": ";
+    auto pos = json.find(needle);
+    if (pos == std::string::npos)
+        return std::nan("");
+    return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+TEST(RunReport, DocumentRoundTripsHeadlineFields)
+{
+    core::Scenario s;
+    s.clusters = 2;
+    s.procsPerCluster = 2;
+    s.problemScale = 0.05;
+    s.wanBandwidthMBs = 1.25;
+    s.wanLatencyMs = 10.0;
+    core::ReportSink sink;
+    s.trace = &sink;
+    core::RunResult r = apps::findVariant("water", "opt").run(s);
+
+    std::ostringstream os;
+    core::writeRunReport(os, "water/opt", s, r, &sink);
+    const std::string json = os.str();
+
+    EXPECT_NE(json.find("\"schema\": \"tli-run-report-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"label\": \"water/opt\""),
+              std::string::npos);
+    // Numeric fields parse back to the values that went in (within
+    // the writer's 12-significant-digit formatting).
+    EXPECT_NEAR(extractNumber(json, "run_time_s"), r.runTime,
+                1e-9 * r.runTime);
+    EXPECT_NEAR(extractNumber(json, "wan_bandwidth_mbs"), 1.25, 0.0);
+    EXPECT_NEAR(extractNumber(json, "wan_latency_ms"), 10.0, 0.0);
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  extractNumber(json, "inter_messages")),
+              r.traffic.inter.messages);
+    EXPECT_NEAR(extractNumber(json, "wan_transit_s"),
+                r.traffic.wanTransit,
+                1e-9 * (r.traffic.wanTransit + 1));
+
+    // Balanced structure, quote-aware.
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        char c = json[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_FALSE(in_string);
+}
+
+TEST(JsonWriter, EscapesAndNestsCorrectly)
+{
+    std::ostringstream os;
+    {
+        core::JsonWriter w(os);
+        w.beginObject()
+            .field("text", "a\"b\\c\nd")
+            .field("int", -3)
+            .field("big", std::uint64_t{1} << 60)
+            .field("flag", true)
+            .key("nested")
+            .beginArray()
+            .value(1.5)
+            .beginObject()
+            .endObject()
+            .endArray()
+            .endObject();
+    }
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"a\\\"b\\\\c\\nd\""), std::string::npos);
+    EXPECT_NE(json.find("1152921504606846976"), std::string::npos);
+    EXPECT_NE(json.find("\"flag\": true"), std::string::npos);
+    EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(Surface, WriteJsonEmitsGrid)
+{
+    core::Surface s;
+    s.title = "demo";
+    s.latenciesMs = {0.5, 10};
+    s.bandwidthsMBs = {6.0};
+    s.values = {{1.0}, {0.5}};
+    std::ostringstream os;
+    s.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"schema\": \"tli-surface-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"title\": \"demo\""), std::string::npos);
+    EXPECT_NE(json.find("latencies_ms"), std::string::npos);
+    EXPECT_NE(json.find("0.5"), std::string::npos);
+}
+
+} // namespace
+} // namespace tli

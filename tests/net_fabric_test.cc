@@ -211,20 +211,37 @@ TEST(Config, GatewayMatchesDasTcpThroughput)
     EXPECT_GT(p.perMessageCost, 0.0);
 }
 
-TEST(Fabric, PerLinkStatsAccessors)
+TEST(Fabric, StatsSnapshotCoversEveryLinkClass)
 {
     sim::Simulation sim;
     Fabric fab(sim, Topology(2, 2), simpleParams());
     fab.send(0, 2, 500, [] {});
     fab.send(1, 0, 300, [] {}); // intra only
     sim.run();
-    EXPECT_EQ(fab.wanLinkStats(0, 1).messages, 1u);
-    EXPECT_EQ(fab.wanLinkStats(0, 1).bytes, 500u);
-    EXPECT_EQ(fab.wanLinkStats(1, 0).messages, 0u);
-    EXPECT_EQ(fab.nicStats(0).messages, 1u);
-    EXPECT_EQ(fab.nicStats(1).messages, 1u);
-    EXPECT_EQ(fab.gatewayOutStats(0).messages, 1u);
-    EXPECT_EQ(fab.gatewayInStats(1).messages, 1u);
+    FabricStats s = fab.stats();
+    EXPECT_EQ(s.clusters, 2);
+    EXPECT_EQ(s.wanTopology, WanTopology::fullyConnected);
+    EXPECT_EQ(s.wanLink(0, 1).messages, 1u);
+    EXPECT_EQ(s.wanLink(0, 1).bytes, 500u);
+    EXPECT_EQ(s.wanLink(1, 0).messages, 0u);
+    ASSERT_EQ(s.nics.size(), 4u);
+    EXPECT_EQ(s.nics[0].messages, 1u);
+    EXPECT_EQ(s.nics[1].messages, 1u);
+    ASSERT_EQ(s.gatewayOut.size(), 2u);
+    EXPECT_EQ(s.gatewayOut[0].messages, 1u);
+    EXPECT_EQ(s.gatewayIn[1].messages, 1u);
+    // The fully connected mesh labels each directed pair link.
+    ASSERT_EQ(s.wanLinks.size(), 4u);
+    const LinkStats &direct = s.wanLink(0, 1);
+    bool found = false;
+    for (const WanLinkEntry &e : s.wanLinks) {
+        if (e.a == 0 && e.b == 1) {
+            EXPECT_STREQ(e.kind, "pair");
+            EXPECT_EQ(e.stats.messages, direct.messages);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
 }
 
 TEST(Fabric, MaxWanUtilizationReflectsBusyLink)
@@ -235,10 +252,24 @@ TEST(Fabric, MaxWanUtilizationReflectsBusyLink)
     fab.send(0, 1, 1000, [] {});
     sim.run();
     double elapsed = sim.now();
-    double util = fab.maxWanUtilization(elapsed);
+    FabricStats s = fab.stats();
+    double util = s.maxWanUtilization(elapsed);
     EXPECT_GT(util, 0.2);
     EXPECT_LE(util, 1.0);
-    EXPECT_DOUBLE_EQ(fab.maxWanUtilization(0), 0.0);
+    EXPECT_DOUBLE_EQ(s.maxWanUtilization(0), 0.0);
+}
+
+TEST(Fabric, StatsAccumulateWanTransitForInterMessages)
+{
+    sim::Simulation sim;
+    Fabric fab(sim, Topology(2, 1), simpleParams());
+    fab.send(0, 1, 1000, [] {}); // 1 s serialize + 1 s latency
+    fab.send(1, 1, 400, [] {});  // loopback: no WAN contribution
+    sim.run();
+    FabricStats s = fab.stats();
+    EXPECT_NEAR(s.wanTransit, 2.0, 1e-9);
+    fab.resetStats();
+    EXPECT_DOUBLE_EQ(fab.stats().wanTransit, 0.0);
 }
 
 FabricParams
@@ -335,10 +366,17 @@ TEST(Fabric, WanLinkStatsStarReportsUpLink)
     sim.run();
     // Both transfers climb cluster 0's up-link, whichever cluster they
     // descend to.
-    EXPECT_EQ(fab.wanLinkStats(0, 1).messages, 2u);
-    EXPECT_EQ(fab.wanLinkStats(0, 1).bytes, 800u);
-    EXPECT_EQ(&fab.wanLinkStats(0, 2), &fab.wanLinkStats(0, 1));
-    EXPECT_EQ(fab.wanLinkStats(1, 0).messages, 0u);
+    FabricStats s = fab.stats();
+    EXPECT_EQ(s.wanLink(0, 1).messages, 2u);
+    EXPECT_EQ(s.wanLink(0, 1).bytes, 800u);
+    EXPECT_EQ(&s.wanLink(0, 2), &s.wanLink(0, 1));
+    EXPECT_EQ(s.wanLink(1, 0).messages, 0u);
+    // Star entries are labeled up [0, C) then down [C, 2C).
+    ASSERT_EQ(s.wanLinks.size(), 8u);
+    EXPECT_STREQ(s.wanLinks[0].kind, "up");
+    EXPECT_STREQ(s.wanLinks[4].kind, "down");
+    EXPECT_EQ(s.wanLinks[0].a, 0);
+    EXPECT_EQ(s.wanLinks[0].b, invalidCluster);
 }
 
 TEST(Fabric, WanLinkStatsRingReportsFirstHopOfShorterArc)
@@ -348,22 +386,26 @@ TEST(Fabric, WanLinkStatsRingReportsFirstHopOfShorterArc)
     fab.send(0, 1, 500, [] {}); // clockwise arc
     fab.send(0, 3, 300, [] {}); // counterclockwise arc
     sim.run();
-    EXPECT_EQ(fab.wanLinkStats(0, 1).messages, 1u);
-    EXPECT_EQ(fab.wanLinkStats(0, 1).bytes, 500u);
-    EXPECT_EQ(fab.wanLinkStats(0, 3).messages, 1u);
-    EXPECT_EQ(fab.wanLinkStats(0, 3).bytes, 300u);
+    FabricStats s = fab.stats();
+    EXPECT_EQ(s.wanLink(0, 1).messages, 1u);
+    EXPECT_EQ(s.wanLink(0, 1).bytes, 500u);
+    EXPECT_EQ(s.wanLink(0, 3).messages, 1u);
+    EXPECT_EQ(s.wanLink(0, 3).bytes, 300u);
     // The opposite corner ties; clockwise wins, so its first hop is
     // the same physical link as the 0 -> 1 route.
-    EXPECT_EQ(&fab.wanLinkStats(0, 2), &fab.wanLinkStats(0, 1));
+    EXPECT_EQ(&s.wanLink(0, 2), &s.wanLink(0, 1));
+    EXPECT_STREQ(s.wanLinks[0].kind, "cw");
+    EXPECT_STREQ(s.wanLinks[4].kind, "ccw");
 }
 
-TEST(FabricDeathTest, WanLinkStatsRejectsInvalidPairs)
+TEST(FabricDeathTest, WanLinkRejectsInvalidPairs)
 {
     sim::Simulation sim;
     Fabric fab(sim, Topology(4, 1), simpleParams());
-    EXPECT_DEATH((void)fab.wanLinkStats(1, 1), "distinct");
-    EXPECT_DEATH((void)fab.wanLinkStats(0, 4), "out of range");
-    EXPECT_DEATH((void)fab.wanLinkStats(-1, 2), "out of range");
+    FabricStats s = fab.stats();
+    EXPECT_DEATH((void)s.wanLink(1, 1), "distinct");
+    EXPECT_DEATH((void)s.wanLink(0, 4), "out of range");
+    EXPECT_DEATH((void)s.wanLink(-1, 2), "out of range");
 }
 
 TEST(Fabric, InterleavedP2pAndMulticastDeliverInSendOrder)

@@ -1,0 +1,88 @@
+#include "options.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tli::tools {
+
+const char *
+flagValue(const char *arg, const char *prefix)
+{
+    std::size_t n = std::strlen(prefix);
+    return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+}
+
+bool
+ScenarioOptions::parseOne(const char *arg)
+{
+    if (const char *v = flagValue(arg, "--app="))
+        app = v;
+    else if (const char *v = flagValue(arg, "--variant="))
+        variant = v;
+    else if (const char *v = flagValue(arg, "--clusters="))
+        scenario.clusters = std::atoi(v);
+    else if (const char *v = flagValue(arg, "--procs="))
+        scenario.procsPerCluster = std::atoi(v);
+    else if (const char *v = flagValue(arg, "--wan-bw="))
+        scenario.wanBandwidthMBs = std::atof(v);
+    else if (const char *v = flagValue(arg, "--bw="))
+        scenario.wanBandwidthMBs = std::atof(v);
+    else if (const char *v = flagValue(arg, "--wan-lat="))
+        scenario.wanLatencyMs = std::atof(v);
+    else if (const char *v = flagValue(arg, "--lat="))
+        scenario.wanLatencyMs = std::atof(v);
+    else if (const char *v = flagValue(arg, "--wan-jitter="))
+        scenario.wanJitterFraction = std::atof(v);
+    else if (const char *v = flagValue(arg, "--jitter="))
+        scenario.wanJitterFraction = std::atof(v);
+    else if (const char *v = flagValue(arg, "--wan-topology=")) {
+        if (std::strcmp(v, "fully-connected") == 0 ||
+            std::strcmp(v, "full") == 0) {
+            scenario.wanShape = net::WanTopology::fullyConnected;
+        } else if (std::strcmp(v, "star") == 0) {
+            scenario.wanShape = net::WanTopology::star;
+        } else if (std::strcmp(v, "ring") == 0) {
+            scenario.wanShape = net::WanTopology::ring;
+        } else {
+            std::fprintf(stderr, "unknown wan topology: %s\n", v);
+            return false;
+        }
+    } else if (const char *v = flagValue(arg, "--scale="))
+        scenario.problemScale = std::atof(v);
+    else if (const char *v = flagValue(arg, "--seed="))
+        scenario.seed = std::strtoull(v, nullptr, 10);
+    else if (std::strcmp(arg, "--all-myrinet") == 0)
+        scenario.allMyrinet = true;
+    else if (const char *v = flagValue(arg, "--trace="))
+        tracePath = v;
+    else if (const char *v = flagValue(arg, "--json="))
+        jsonPath = v;
+    else
+        return false;
+    return true;
+}
+
+void
+ScenarioOptions::usage(std::FILE *os)
+{
+    std::fprintf(
+        os,
+        "  --app=NAME             application (default water)\n"
+        "  --variant=NAME         unopt | opt (default opt)\n"
+        "  --clusters=N           clusters (default 4)\n"
+        "  --procs=N              processors per cluster (default 8)\n"
+        "  --bw=MBPS              wide-area MByte/s (default 6.0;\n"
+        "                         alias --wan-bw=)\n"
+        "  --lat=MS               wide-area one-way ms (default 0.5;\n"
+        "                         alias --wan-lat=)\n"
+        "  --jitter=F             latency variability in [0,1]\n"
+        "                         (alias --wan-jitter=)\n"
+        "  --wan-topology=SHAPE   fully-connected | star | ring\n"
+        "  --scale=F              workload scale (default 1.0)\n"
+        "  --seed=N               workload seed (default 42)\n"
+        "  --all-myrinet          every link at Myrinet speed\n"
+        "  --trace=FILE           write Chrome trace-event JSON\n"
+        "  --json=FILE            write a machine-readable report\n");
+}
+
+} // namespace tli::tools

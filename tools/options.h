@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared command-line surface of the tli_* tools: one parser for the
+ * scenario/application flags (and the observability flags --trace and
+ * --json), so every tool accepts the same spelling and new knobs land
+ * everywhere at once.
+ */
+
+#ifndef TWOLAYER_TOOLS_OPTIONS_H_
+#define TWOLAYER_TOOLS_OPTIONS_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/scenario.h"
+
+namespace tli::tools {
+
+/**
+ * "--name=VALUE" matcher.
+ * @return the VALUE part if @p arg starts with @p prefix, else null.
+ */
+const char *flagValue(const char *arg, const char *prefix);
+
+/**
+ * The scenario-and-application options every run/sweep tool shares.
+ * Each tool keeps its own loop for tool-specific flags and delegates
+ * everything else to parseOne().
+ */
+struct ScenarioOptions
+{
+    std::string app = "water";
+    std::string variant = "opt";
+    core::Scenario scenario;
+    /** --trace=FILE: Chrome trace-event JSON destination ("" = off). */
+    std::string tracePath;
+    /** --json=FILE: machine-readable report destination ("" = off). */
+    std::string jsonPath;
+
+    /**
+     * Try to consume one argv entry.
+     * @return false if the flag is not one of the shared options.
+     */
+    bool parseOne(const char *arg);
+
+    /** Print the help text for the shared options to @p os. */
+    static void usage(std::FILE *os);
+};
+
+} // namespace tli::tools
+
+#endif // TWOLAYER_TOOLS_OPTIONS_H_

@@ -17,20 +17,25 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <queue>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/json.h"
 #include "magpie/communicator.h"
 #include "net/config.h"
+#include "options.h"
 #include "panda/panda.h"
 #include "sim/event_queue.h"
 #include "sim/simulation.h"
+#include "sim/trace.h"
 
 using namespace tli;
 
@@ -180,11 +185,39 @@ measureSleepLoop(int n, int reps)
     return n / best;
 }
 
+/**
+ * The cheapest possible sink: counts events and discards them. Used
+ * to price the instrumentation itself (branch + virtual call), with
+ * no formatting or I/O on top.
+ */
+class CountingSink : public sim::TraceSink
+{
+  public:
+    void
+    onMessage(const sim::MessageTrace &m) override
+    {
+        (void)m;
+        ++events_;
+    }
+
+    std::uint64_t events() const { return events_; }
+
+  private:
+    std::uint64_t events_ = 0;
+};
+
+/**
+ * Unicast messages/sec, optionally with a trace sink attached. The
+ * untraced figure is the hot path every simulation pays; the traced
+ * one prices the observability layer's per-message cost.
+ */
 double
-measurePandaUnicast(int n, int reps)
+measurePandaUnicast(int n, int reps, sim::TraceSink *sink = nullptr)
 {
     double best = bestOf(reps, [&] {
         sim::Simulation sim;
+        if (sink)
+            sim.setTrace(sink);
         net::Topology topo(4, 8);
         net::Fabric fabric(sim, topo, net::dasParams(6.0, 0.5));
         panda::Panda panda(sim, fabric);
@@ -250,10 +283,11 @@ main(int argc, char **argv)
     int unicast_msgs = 8192;
     int broadcast_rounds = 256;
     for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--label=", 8) == 0) {
-            label = argv[i] + 8;
-        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
-            out = argv[i] + 6;
+        if (const char *v = tools::flagValue(argv[i], "--label=")) {
+            label = v;
+        } else if (const char *v = tools::flagValue(argv[i],
+                                                    "--out=")) {
+            out = v;
         } else if (std::strcmp(argv[i], "--quick") == 0) {
             reps = 2;
             queue_events = 1 << 14;
@@ -279,44 +313,59 @@ main(int argc, char **argv)
     double sleep_eps = measureSleepLoop(sleep_events, reps);
     std::fprintf(stderr, "measuring panda unicast...\n");
     double uni_mps = measurePandaUnicast(unicast_msgs, reps);
+    std::fprintf(stderr, "measuring panda unicast (traced)...\n");
+    CountingSink counter;
+    double uni_traced_mps =
+        measurePandaUnicast(unicast_msgs, reps, &counter);
     std::fprintf(stderr, "measuring panda broadcast...\n");
     double bcast_mps = measurePandaBroadcast(broadcast_rounds, reps);
     long rss = peakRssBytes();
 
-    std::FILE *f = std::fopen(out.c_str(), "w");
+    std::ofstream f(out);
     if (!f) {
         std::fprintf(stderr, "cannot open %s\n", out.c_str());
         return 1;
     }
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": 1,\n");
-    std::fprintf(f, "  \"label\": \"%s\",\n", label.c_str());
-    std::fprintf(f, "  \"event_queue\": {\n");
-    std::fprintf(f, "    \"workload_events\": %d,\n", queue_events);
-    std::fprintf(f, "    \"events_per_sec\": %.0f,\n", q_new);
-    std::fprintf(f, "    \"seed_baseline_events_per_sec\": %.0f,\n",
-                 q_seed);
-    std::fprintf(f, "    \"speedup_vs_seed\": %.3f\n", q_new / q_seed);
-    std::fprintf(f, "  },\n");
-    std::fprintf(f, "  \"simulation\": {\n");
-    std::fprintf(f, "    \"sleep_loop_events_per_sec\": %.0f\n",
-                 sleep_eps);
-    std::fprintf(f, "  },\n");
-    std::fprintf(f, "  \"panda\": {\n");
-    std::fprintf(f, "    \"unicast_messages_per_sec\": %.0f,\n",
-                 uni_mps);
-    std::fprintf(f, "    \"broadcast_deliveries_per_sec\": %.0f\n",
-                 bcast_mps);
-    std::fprintf(f, "  },\n");
-    std::fprintf(f, "  \"peak_rss_bytes\": %ld\n", rss);
-    std::fprintf(f, "}\n");
-    std::fclose(f);
+    {
+        core::JsonWriter w(f);
+        w.beginObject();
+        w.field("schema", 2);
+        w.field("label", label);
+        w.key("event_queue").beginObject();
+        w.field("workload_events", queue_events);
+        w.field("events_per_sec", std::round(q_new));
+        w.field("seed_baseline_events_per_sec", std::round(q_seed));
+        w.field("speedup_vs_seed", q_new / q_seed);
+        w.endObject();
+        w.key("simulation").beginObject();
+        w.field("sleep_loop_events_per_sec", std::round(sleep_eps));
+        w.endObject();
+        w.key("panda").beginObject();
+        w.field("unicast_messages_per_sec", std::round(uni_mps));
+        w.field("broadcast_deliveries_per_sec",
+                std::round(bcast_mps));
+        w.endObject();
+        w.key("trace").beginObject();
+        w.field("untraced_messages_per_sec", std::round(uni_mps));
+        w.field("traced_messages_per_sec",
+                std::round(uni_traced_mps));
+        w.field("traced_overhead_fraction",
+                uni_mps > 0 ? 1.0 - uni_traced_mps / uni_mps : 0.0);
+        w.endObject();
+        w.field("peak_rss_bytes",
+                static_cast<std::int64_t>(rss));
+        w.endObject();
+    }
 
     std::printf("event queue:      %11.0f events/s (seed baseline "
                 "%.0f, speedup %.2fx)\n",
                 q_new, q_seed, q_new / q_seed);
     std::printf("sleep loop:       %11.0f events/s\n", sleep_eps);
     std::printf("panda unicast:    %11.0f messages/s\n", uni_mps);
+    std::printf("  traced:         %11.0f messages/s (%.1f%% "
+                "overhead)\n",
+                uni_traced_mps,
+                100.0 * (1.0 - uni_traced_mps / uni_mps));
     std::printf("panda broadcast:  %11.0f deliveries/s\n", bcast_mps);
     std::printf("peak RSS:         %11ld bytes\n", rss);
     std::printf("wrote %s\n", out.c_str());

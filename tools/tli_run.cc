@@ -4,89 +4,43 @@
  * and network configuration and print the full measurement record.
  *
  *   tli_run --app=water --variant=opt --clusters=4 --procs=8 \
- *           --bw=1.0 --lat=10 [--jitter=0.5] [--scale=1] [--seed=42]
+ *           --bw=1.0 --lat=10 [--jitter=0.5] [--scale=1] [--seed=42] \
+ *           [--trace=run.trace.json] [--json=run.report.json]
  *
- * With --list, prints the registered variants and exits.
+ * With --list, prints the registered variants and exits. With
+ * --trace, writes Chrome trace-event JSON of the run (load it in
+ * chrome://tracing or Perfetto); with --json, writes the
+ * tli-run-report-v1 document.
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/registry.h"
+#include "core/run_report.h"
 #include "core/scenario.h"
 #include "net/config.h"
+#include "options.h"
+#include "sim/trace.h"
 
 using namespace tli;
 
 namespace {
 
-struct Args
-{
-    std::string app = "water";
-    std::string variant = "opt";
-    core::Scenario scenario;
-    bool list = false;
-    bool compare_baseline = true;
-};
-
 void
 usage(const char *argv0)
 {
-    std::printf(
-        "usage: %s [options]\n"
-        "  --list                 print available app/variant pairs\n"
-        "  --app=NAME             application (default water)\n"
-        "  --variant=NAME         unopt | opt (default opt)\n"
-        "  --clusters=N           clusters (default 4)\n"
-        "  --procs=N              processors per cluster (default 8)\n"
-        "  --bw=MBPS              wide-area MByte/s (default 6.0)\n"
-        "  --lat=MS               wide-area one-way ms (default 0.5)\n"
-        "  --jitter=F             latency variability in [0,1]\n"
-        "  --scale=F              workload scale (default 1.0)\n"
-        "  --seed=N               workload seed (default 42)\n"
-        "  --all-myrinet          every link at Myrinet speed\n"
-        "  --no-baseline          skip the all-Myrinet reference run\n",
-        argv0);
-}
-
-bool
-parseOne(Args &args, const char *arg)
-{
-    auto value = [&](const char *prefix) -> const char * {
-        std::size_t n = std::strlen(prefix);
-        if (std::strncmp(arg, prefix, n) == 0)
-            return arg + n;
-        return nullptr;
-    };
-    if (const char *v = value("--app="))
-        args.app = v;
-    else if (const char *v = value("--variant="))
-        args.variant = v;
-    else if (const char *v = value("--clusters="))
-        args.scenario.clusters = std::atoi(v);
-    else if (const char *v = value("--procs="))
-        args.scenario.procsPerCluster = std::atoi(v);
-    else if (const char *v = value("--bw="))
-        args.scenario.wanBandwidthMBs = std::atof(v);
-    else if (const char *v = value("--lat="))
-        args.scenario.wanLatencyMs = std::atof(v);
-    else if (const char *v = value("--jitter="))
-        args.scenario.wanJitterFraction = std::atof(v);
-    else if (const char *v = value("--scale="))
-        args.scenario.problemScale = std::atof(v);
-    else if (const char *v = value("--seed="))
-        args.scenario.seed = std::strtoull(v, nullptr, 10);
-    else if (std::strcmp(arg, "--all-myrinet") == 0)
-        args.scenario.allMyrinet = true;
-    else if (std::strcmp(arg, "--no-baseline") == 0)
-        args.compare_baseline = false;
-    else if (std::strcmp(arg, "--list") == 0)
-        args.list = true;
-    else
-        return false;
-    return true;
+    std::printf("usage: %s [options]\n"
+                "  --list                 print available app/variant "
+                "pairs\n"
+                "  --no-baseline          skip the all-Myrinet "
+                "reference run\n",
+                argv0);
+    tools::ScenarioOptions::usage(stdout);
 }
 
 } // namespace
@@ -94,31 +48,60 @@ parseOne(Args &args, const char *arg)
 int
 main(int argc, char **argv)
 {
-    Args args;
+    tools::ScenarioOptions opts;
+    bool list = false;
+    bool compare_baseline = true;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--help") == 0) {
             usage(argv[0]);
             return 0;
         }
-        if (!parseOne(args, argv[i])) {
+        if (std::strcmp(argv[i], "--list") == 0)
+            list = true;
+        else if (std::strcmp(argv[i], "--no-baseline") == 0)
+            compare_baseline = false;
+        else if (!opts.parseOne(argv[i])) {
             std::fprintf(stderr, "unknown option: %s\n", argv[i]);
             usage(argv[0]);
             return 2;
         }
     }
 
-    if (args.list) {
+    if (list) {
         for (auto &v : apps::allVariants())
             std::printf("%s\n", v.fullName().c_str());
         return 0;
     }
 
-    core::AppVariant variant = apps::findVariant(args.app,
-                                                 args.variant);
+    core::AppVariant variant = apps::findVariant(opts.app,
+                                                 opts.variant);
     std::printf("running %s on %s\n", variant.fullName().c_str(),
-                args.scenario.describe().c_str());
+                opts.scenario.describe().c_str());
 
-    core::RunResult r = variant.run(args.scenario);
+    // Observability: a Chrome trace stream and/or an aggregating
+    // report sink, teed into the run when requested.
+    std::ofstream trace_file;
+    std::unique_ptr<sim::ChromeTraceSink> chrome;
+    if (!opts.tracePath.empty()) {
+        trace_file.open(opts.tracePath);
+        if (!trace_file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         opts.tracePath.c_str());
+            return 1;
+        }
+        chrome = std::make_unique<sim::ChromeTraceSink>(trace_file);
+    }
+    core::ReportSink report;
+    std::vector<sim::TraceSink *> sinks;
+    if (chrome)
+        sinks.push_back(chrome.get());
+    if (!opts.jsonPath.empty())
+        sinks.push_back(&report);
+    sim::TeeSink tee(sinks);
+    if (!sinks.empty())
+        opts.scenario.trace = &tee;
+
+    core::RunResult r = variant.run(opts.scenario);
     std::printf("run time            %10.4f s\n", r.runTime);
     std::printf("verified            %10s\n", r.verified ? "yes" : "NO");
     std::printf("checksum            %10.6g\n", r.checksum);
@@ -131,17 +114,38 @@ main(int argc, char **argv)
     std::printf("inter volume        %10.3f MByte/s\n",
                 r.interVolumeMBs());
     std::printf("inter messages/s    %10.0f\n", r.interMsgsPerSec());
+    std::printf("wan transit         %10.4f s (summed)\n",
+                r.traffic.wanTransit);
     for (std::size_t c = 0; c < r.traffic.interPerCluster.size(); ++c) {
         std::printf("  cluster %zu out     %10.3f MByte/s, %7.0f msg/s\n",
                     c, r.interVolumePerClusterMBs(static_cast<int>(c)),
                     r.interMsgsPerClusterPerSec(static_cast<int>(c)));
     }
 
-    if (args.compare_baseline && !args.scenario.allMyrinet) {
-        core::RunResult base = variant.run(args.scenario.asAllMyrinet());
-        std::printf("all-Myrinet time    %10.4f s\n", base.runTime);
+    if (chrome) {
+        chrome->close();
+        std::printf("wrote %s\n", opts.tracePath.c_str());
+    }
+    if (!opts.jsonPath.empty()) {
+        std::ofstream json_file(opts.jsonPath);
+        if (!json_file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         opts.jsonPath.c_str());
+            return 1;
+        }
+        core::writeRunReport(json_file, variant.fullName(),
+                             opts.scenario, r, &report);
+        std::printf("wrote %s\n", opts.jsonPath.c_str());
+    }
+
+    if (compare_baseline && !opts.scenario.allMyrinet) {
+        // The reference run stays out of the trace/report.
+        core::Scenario base = opts.scenario.asAllMyrinet();
+        base.trace = nullptr;
+        core::RunResult base_r = variant.run(base);
+        std::printf("all-Myrinet time    %10.4f s\n", base_r.runTime);
         std::printf("relative speedup    %9.1f%%\n",
-                    100.0 * base.runTime / r.runTime);
+                    100.0 * base_r.runTime / r.runTime);
     }
     return r.verified ? 0 : 1;
 }

@@ -6,13 +6,20 @@
  *
  *   tli_sweep --app=water --variant=opt > water_opt.csv
  *   tli_sweep --app=fft --variant=unopt --metric=commtime \
- *             --bws=6.3,0.95,0.1 --lats=0.5,10,100
+ *             --bws=6.3,0.95,0.1 --lats=0.5,10,100 \
+ *             [--json=surface.json] [--trace=sweep.trace.json]
+ *
+ * With --json the surface is additionally written as a
+ * tli-surface-v1 document; with --trace every cell's run lands in one
+ * Chrome trace file, each run on its own process track.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +27,8 @@
 #include "apps/registry.h"
 #include "core/gap_study.h"
 #include "net/config.h"
+#include "options.h"
+#include "sim/trace.h"
 
 using namespace tli;
 
@@ -41,15 +50,12 @@ usage(const char *argv0)
 {
     std::printf(
         "usage: %s [options] > out.csv\n"
-        "  --app=NAME --variant=NAME   which program (see tli_run "
-        "--list)\n"
-        "  --clusters=N --procs=N      machine shape (default 4x8)\n"
-        "  --scale=F --seed=N          workload\n"
         "  --bws=LIST --lats=LIST      comma-separated grids "
         "(default: the paper's)\n"
         "  --metric=speedup|commtime   surface to emit (default "
         "speedup)\n",
         argv0);
+    tools::ScenarioOptions::usage(stdout);
 }
 
 } // namespace
@@ -57,45 +63,40 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
-    std::string app = "water";
-    std::string variant = "opt";
+    tools::ScenarioOptions opts;
     std::string metric = "speedup";
-    core::Scenario base;
     std::vector<double> bws = net::figureBandwidthsMBs();
     std::vector<double> lats = net::figureLatenciesMs();
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
-        auto value = [&](const char *prefix) -> const char * {
-            std::size_t n = std::strlen(prefix);
-            return std::strncmp(arg, prefix, n) == 0 ? arg + n
-                                                     : nullptr;
-        };
-        if (const char *v = value("--app="))
-            app = v;
-        else if (const char *v = value("--variant="))
-            variant = v;
-        else if (const char *v = value("--metric="))
+        if (const char *v = tools::flagValue(arg, "--metric="))
             metric = v;
-        else if (const char *v = value("--clusters="))
-            base.clusters = std::atoi(v);
-        else if (const char *v = value("--procs="))
-            base.procsPerCluster = std::atoi(v);
-        else if (const char *v = value("--scale="))
-            base.problemScale = std::atof(v);
-        else if (const char *v = value("--seed="))
-            base.seed = std::strtoull(v, nullptr, 10);
-        else if (const char *v = value("--bws="))
+        else if (const char *v = tools::flagValue(arg, "--bws="))
             bws = parseList(v);
-        else if (const char *v = value("--lats="))
+        else if (const char *v = tools::flagValue(arg, "--lats="))
             lats = parseList(v);
-        else {
+        else if (!opts.parseOne(arg)) {
             usage(argv[0]);
             return std::strcmp(arg, "--help") == 0 ? 0 : 2;
         }
     }
 
-    core::GapStudy study(apps::findVariant(app, variant), base);
+    std::ofstream trace_file;
+    std::unique_ptr<sim::ChromeTraceSink> chrome;
+    if (!opts.tracePath.empty()) {
+        trace_file.open(opts.tracePath);
+        if (!trace_file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         opts.tracePath.c_str());
+            return 1;
+        }
+        chrome = std::make_unique<sim::ChromeTraceSink>(trace_file);
+        opts.scenario.trace = chrome.get();
+    }
+
+    core::GapStudy study(apps::findVariant(opts.app, opts.variant),
+                         opts.scenario);
     core::Surface surface;
     if (metric == "speedup")
         surface = study.speedupSurface(bws, lats);
@@ -105,7 +106,21 @@ main(int argc, char **argv)
         std::fprintf(stderr, "unknown metric %s\n", metric.c_str());
         return 2;
     }
+    if (chrome) {
+        chrome->close();
+        std::fprintf(stderr, "# wrote %s\n", opts.tracePath.c_str());
+    }
     std::fprintf(stderr, "# %s\n", surface.title.c_str());
     surface.writeCsv(std::cout);
+    if (!opts.jsonPath.empty()) {
+        std::ofstream json_file(opts.jsonPath);
+        if (!json_file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         opts.jsonPath.c_str());
+            return 1;
+        }
+        surface.writeJson(json_file);
+        std::fprintf(stderr, "# wrote %s\n", opts.jsonPath.c_str());
+    }
     return 0;
 }
