@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/scenario.h"
+#include "exec/engine.h"
 #include "net/config.h"
 
 namespace tli::bench {
@@ -25,6 +26,8 @@ struct Options
     double scale = 1.0;
     /** Use a reduced parameter grid (smoke-test mode). */
     bool quick = false;
+    /** Engine worker threads (0 = every hardware core). */
+    int jobs = 0;
 
     static Options
     parse(int argc, char **argv)
@@ -33,15 +36,25 @@ struct Options
         for (int i = 1; i < argc; ++i) {
             if (std::strncmp(argv[i], "--scale=", 8) == 0) {
                 o.scale = std::atof(argv[i] + 8);
+            } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+                o.jobs = std::atoi(argv[i] + 7);
             } else if (std::strcmp(argv[i], "--quick") == 0) {
                 o.quick = true;
             } else if (std::strcmp(argv[i], "--help") == 0) {
-                std::printf("usage: %s [--scale=X] [--quick]\n",
+                std::printf("usage: %s [--scale=X] [--jobs=N] "
+                            "[--quick]\n",
                             argv[0]);
                 std::exit(0);
             }
         }
         return o;
+    }
+
+    /** The experiment engine the harness submits its runs through. */
+    exec::Engine
+    makeEngine() const
+    {
+        return exec::Engine({.jobs = jobs});
     }
 
     core::Scenario

@@ -33,8 +33,12 @@ runFig3(const std::string &app, const std::vector<std::string> &variants,
     base.clusters = 4;
     base.procsPerCluster = 8;
 
+    // All grid points of a panel are independent: submit them through
+    // the experiment engine (--jobs=N; default every hardware core).
+    exec::Engine engine = opt.makeEngine();
     for (const std::string &variant : variants) {
-        core::GapStudy study(apps::findVariant(app, variant), base);
+        core::GapStudy study(apps::findVariant(app, variant), base,
+                             &engine);
         core::Surface s = study.speedupSurface(opt.bandwidthGrid(),
                                                opt.latencyGrid());
         s.printPercent(std::cout);

@@ -38,6 +38,8 @@ main(int argc, char **argv)
                   : std::vector<double>{0.1, 0.5, 1.3, 3.3, 10, 30,
                                         100};
 
+    exec::Engine engine = opt.makeEngine();
+
     std::printf("(a) communication time%% vs bandwidth at 3.3 ms "
                 "one-way latency\n");
     core::TextTable bw_table([&] {
@@ -47,7 +49,7 @@ main(int argc, char **argv)
         return h;
     }());
     for (auto &v : apps::bestVariants()) {
-        core::GapStudy study(v, base);
+        core::GapStudy study(v, base, &engine);
         core::Surface s = study.commTimeSurface(bw_grid, {3.3});
         std::vector<std::string> row{v.fullName()};
         for (std::size_t j = 0; j < bw_grid.size(); ++j)
@@ -66,7 +68,7 @@ main(int argc, char **argv)
         return h;
     }());
     for (auto &v : apps::bestVariants()) {
-        core::GapStudy study(v, base);
+        core::GapStudy study(v, base, &engine);
         core::Surface s = study.commTimeSurface({0.9}, lat_grid);
         std::vector<std::string> row{v.fullName()};
         for (std::size_t i = 0; i < lat_grid.size(); ++i)

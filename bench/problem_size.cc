@@ -37,6 +37,7 @@ main(int argc, char **argv)
         return h;
     }());
 
+    exec::Engine engine = opt.makeEngine();
     for (auto &v : apps::bestVariants()) {
         std::vector<std::string> row{v.fullName()};
         for (double scale : scales) {
@@ -46,7 +47,7 @@ main(int argc, char **argv)
             s.wanBandwidthMBs = 1.0;
             s.wanLatencyMs = 10.0;
             s.problemScale = scale * s.problemScale;
-            core::GapStudy study(v, s);
+            core::GapStudy study(v, s, &engine);
             double t_single = study.baseline().runTime;
             core::RunResult r = study.at(1.0, 10.0);
             if (!r.verified) {

@@ -38,6 +38,7 @@ main(int argc, char **argv)
         return h;
     }());
 
+    exec::Engine engine = opt.makeEngine();
     for (auto &v : apps::bestVariants()) {
         core::Scenario base = opt.baseScenario();
         base.clusters = 4;
@@ -46,14 +47,20 @@ main(int argc, char **argv)
         // is what gates each synchronization step.
         base.wanBandwidthMBs = 6.3;
         base.wanLatencyMs = 30.0;
-        core::GapStudy study(v, base);
+        core::GapStudy study(v, base, &engine);
         double t_single = study.baseline().runTime;
 
-        std::vector<std::string> row{v.fullName()};
+        // The whole jitter row is one engine batch.
+        std::vector<core::ExperimentJob> jobs;
         for (double jitter : jitters) {
             core::Scenario s = base;
             s.wanJitterFraction = jitter;
-            core::RunResult r = v.run(s);
+            jobs.push_back({v, s, ""});
+        }
+        std::vector<core::RunResult> results = engine.run(jobs);
+
+        std::vector<std::string> row{v.fullName()};
+        for (const core::RunResult &r : results) {
             if (!r.verified) {
                 row.push_back("FAILED");
                 continue;

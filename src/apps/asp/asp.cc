@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <memory>
 #include <utility>
 
@@ -162,7 +163,12 @@ worker(Run &run, Rank self)
 const Matrix &
 referenceSolution(const Config &cfg)
 {
+    // Guarded: parallel sweep workers (src/exec) share this memo.
+    // Returned references stay valid under the lock's release: the
+    // map only ever grows and std::map nodes never move.
+    static std::mutex memoMutex;
     static std::map<std::pair<int, std::uint64_t>, Matrix> memo;
+    std::lock_guard<std::mutex> lock(memoMutex);
     auto key = std::make_pair(cfg.n, cfg.seed);
     auto it = memo.find(key);
     if (it == memo.end()) {

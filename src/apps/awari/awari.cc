@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -307,7 +308,12 @@ worker(Run &run, Rank self)
 const Solver &
 referenceSolver(int max_stones)
 {
+    // Guarded: parallel sweep workers (src/exec) share this memo.
+    // Returned references stay valid under the lock's release: the
+    // map only ever grows and std::map nodes never move.
+    static std::mutex memoMutex;
     static std::map<int, Solver> memo;
+    std::lock_guard<std::mutex> lock(memoMutex);
     auto it = memo.find(max_stones);
     if (it == memo.end()) {
         it = memo.emplace(max_stones, Solver(max_stones)).first;

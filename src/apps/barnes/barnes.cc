@@ -1,6 +1,7 @@
 #include "apps/barnes/barnes.h"
 
 #include <map>
+#include <mutex>
 #include <tuple>
 #include <utility>
 
@@ -296,8 +297,11 @@ checksum(const std::vector<Body> &bodies)
 double
 referenceChecksum(const Config &cfg, int ranks)
 {
+    // Guarded: parallel sweep workers (src/exec) share this memo.
+    static std::mutex memoMutex;
     static std::map<std::tuple<int, int, std::uint64_t, int>, double>
         memo;
+    std::lock_guard<std::mutex> lock(memoMutex);
     auto key = std::make_tuple(cfg.n, cfg.iterations, cfg.seed, ranks);
     auto it = memo.find(key);
     if (it != memo.end())

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <numbers>
 #include <utility>
 
@@ -160,7 +161,10 @@ worker(Run &run, Rank self)
 double
 referenceChecksum(const Config &cfg)
 {
+    // Guarded: parallel sweep workers (src/exec) share this memo.
+    static std::mutex memoMutex;
     static std::map<std::pair<int, std::uint64_t>, double> memo;
+    std::lock_guard<std::mutex> lock(memoMutex);
     auto key = std::make_pair(cfg.n, cfg.seed);
     auto it = memo.find(key);
     if (it == memo.end()) {

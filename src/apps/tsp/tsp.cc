@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "apps/common.h"
@@ -182,8 +183,13 @@ struct Reference
 const Reference &
 reference(const Config &cfg)
 {
+    // Guarded: parallel sweep workers (src/exec) share this memo.
+    // Returned references stay valid under the lock's release: the
+    // map only ever grows and std::map nodes never move.
+    static std::mutex memoMutex;
     static std::map<std::tuple<int, int, std::uint64_t>, Reference>
         memo;
+    std::lock_guard<std::mutex> lock(memoMutex);
     auto key = std::make_tuple(cfg.cities, cfg.jobDepth, cfg.seed);
     auto it = memo.find(key);
     if (it == memo.end()) {

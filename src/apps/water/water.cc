@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "apps/common.h"
@@ -258,7 +259,10 @@ worker(Run &run, Rank self)
 double
 referenceChecksum(const Config &cfg)
 {
+    // Guarded: parallel sweep workers (src/exec) share this memo.
+    static std::mutex memoMutex;
     static std::map<std::pair<int, std::uint64_t>, double> memo;
+    std::lock_guard<std::mutex> lock(memoMutex);
     auto key = std::make_pair(cfg.n * 1000 + cfg.iterations, cfg.seed);
     auto it = memo.find(key);
     if (it == memo.end()) {

@@ -1,0 +1,17 @@
+#include "core/executor.h"
+
+namespace tli::core {
+
+Executor::~Executor() = default;
+
+std::vector<RunResult>
+SerialExecutor::run(const std::vector<ExperimentJob> &jobs)
+{
+    std::vector<RunResult> results;
+    results.reserve(jobs.size());
+    for (const ExperimentJob &job : jobs)
+        results.push_back(job.variant.run(job.scenario));
+    return results;
+}
+
+} // namespace tli::core

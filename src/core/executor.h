@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The experiment-execution seam: a batch of independent (variant,
+ * scenario) jobs and the Executor interface that runs them. The study
+ * drivers (GapStudy, the sweep tools) submit batches through this
+ * interface; src/exec provides the parallel, cache-backed engine, and
+ * SerialExecutor here is the dependency-free default.
+ */
+
+#ifndef TWOLAYER_CORE_EXECUTOR_H_
+#define TWOLAYER_CORE_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/app.h"
+#include "core/scenario.h"
+
+namespace tli::core {
+
+/**
+ * One experiment to run: a complete single-threaded Simulation of
+ * @c variant on @c scenario. Jobs in a batch are independent — no job
+ * reads another's result — which is what lets an Executor run them in
+ * any order or concurrently while committing results in batch order.
+ */
+struct ExperimentJob
+{
+    AppVariant variant;
+    Scenario scenario;
+    /** Display label for progress output; defaults to fullName(). */
+    std::string label;
+
+    std::string
+    displayLabel() const
+    {
+        return label.empty() ? variant.fullName() : label;
+    }
+};
+
+/**
+ * Runs a batch of experiment jobs and returns their results in job
+ * order (results[i] belongs to jobs[i], whatever order execution
+ * happened in). Implementations must be deterministic: the returned
+ * results are bit-identical regardless of worker count or scheduling.
+ */
+class Executor
+{
+  public:
+    virtual ~Executor();
+
+    virtual std::vector<RunResult>
+    run(const std::vector<ExperimentJob> &jobs) = 0;
+};
+
+/** The degenerate executor: runs each job inline, in order. */
+class SerialExecutor : public Executor
+{
+  public:
+    std::vector<RunResult>
+    run(const std::vector<ExperimentJob> &jobs) override;
+};
+
+} // namespace tli::core
+
+#endif // TWOLAYER_CORE_EXECUTOR_H_

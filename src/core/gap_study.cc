@@ -1,37 +1,81 @@
 #include "core/gap_study.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "sim/logging.h"
 
 namespace tli::core {
 
-GapStudy::GapStudy(AppVariant variant, Scenario base)
-    : variant_(std::move(variant)), base_(std::move(base))
+GapStudy::GapStudy(AppVariant variant, Scenario base,
+                   Executor *executor)
+    : variant_(std::move(variant)), base_(std::move(base)),
+      executor_(executor)
 {
 }
 
-RunResult
-GapStudy::baseline() const
-{
-    RunResult r = variant_.run(base_.asAllMyrinet());
-    TLI_ASSERT(r.verified, variant_.fullName(),
-               " failed verification on the all-Myrinet baseline");
-    return r;
-}
-
-RunResult
-GapStudy::at(double bandwidth_mbs, double latency_ms) const
+Scenario
+GapStudy::pointScenario(double bandwidth_mbs, double latency_ms) const
 {
     Scenario s = base_;
     s.allMyrinet = false;
     s.wanBandwidthMBs = bandwidth_mbs;
     s.wanLatencyMs = latency_ms;
-    RunResult r = variant_.run(s);
-    TLI_ASSERT(r.verified, variant_.fullName(),
-               " failed verification at bw=", bandwidth_mbs, " lat=",
-               latency_ms);
-    return r;
+    return s;
+}
+
+std::vector<RunResult>
+GapStudy::submit(const std::vector<ExperimentJob> &jobs) const
+{
+    Executor *exec = executor_ ? executor_ : &serial_;
+    std::vector<RunResult> results = exec->run(jobs);
+    TLI_ASSERT(results.size() == jobs.size(),
+               "executor returned ", results.size(), " results for ",
+               jobs.size(), " jobs");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        TLI_ASSERT(results[i].verified, variant_.fullName(),
+                   " failed verification on ",
+                   jobs[i].scenario.describe());
+    }
+    return results;
+}
+
+std::vector<ExperimentJob>
+GapStudy::gridJobs(const std::vector<double> &bandwidths_mbs,
+                   const std::vector<double> &latencies_ms) const
+{
+    std::vector<ExperimentJob> jobs;
+    jobs.reserve(1 + latencies_ms.size() * bandwidths_mbs.size());
+    jobs.push_back({variant_, base_.asAllMyrinet(),
+                    variant_.fullName() + " all-Myrinet"});
+    for (double lat : latencies_ms) {
+        for (double bw : bandwidths_mbs) {
+            char label[96];
+            std::snprintf(label, sizeof label, "%s bw=%g lat=%g",
+                          variant_.fullName().c_str(), bw, lat);
+            jobs.push_back(
+                {variant_, pointScenario(bw, lat), label});
+        }
+    }
+    return jobs;
+}
+
+RunResult
+GapStudy::baseline() const
+{
+    std::vector<RunResult> r = submit({{variant_,
+                                        base_.asAllMyrinet(),
+                                        variant_.fullName() +
+                                            " all-Myrinet"}});
+    return r[0];
+}
+
+RunResult
+GapStudy::at(double bandwidth_mbs, double latency_ms) const
+{
+    std::vector<RunResult> r = submit(
+        {{variant_, pointScenario(bandwidth_mbs, latency_ms), ""}});
+    return r[0];
 }
 
 Surface
@@ -43,19 +87,22 @@ GapStudy::speedupSurface(std::vector<double> bandwidths_mbs,
     if (latencies_ms.empty())
         latencies_ms = net::figureLatenciesMs();
 
-    const double t_single = baseline().runTime;
+    // One batch: the all-Myrinet reference plus every grid point, so
+    // a parallel executor overlaps all of them.
+    std::vector<RunResult> results =
+        submit(gridJobs(bandwidths_mbs, latencies_ms));
+    const double t_single = results[0].runTime;
 
     Surface s;
     s.title = variant_.fullName() + " speedup relative to all-Myrinet";
     s.bandwidthsMBs = bandwidths_mbs;
     s.latenciesMs = latencies_ms;
     s.values.resize(latencies_ms.size());
+    std::size_t next = 1;
     for (std::size_t i = 0; i < latencies_ms.size(); ++i) {
         s.values[i].resize(bandwidths_mbs.size());
-        for (std::size_t j = 0; j < bandwidths_mbs.size(); ++j) {
-            RunResult r = at(bandwidths_mbs[j], latencies_ms[i]);
-            s.values[i][j] = t_single / r.runTime;
-        }
+        for (std::size_t j = 0; j < bandwidths_mbs.size(); ++j)
+            s.values[i][j] = t_single / results[next++].runTime;
     }
     return s;
 }
@@ -64,18 +111,21 @@ Surface
 GapStudy::commTimeSurface(std::vector<double> bandwidths_mbs,
                           std::vector<double> latencies_ms) const
 {
-    const double t_single = baseline().runTime;
+    std::vector<RunResult> results =
+        submit(gridJobs(bandwidths_mbs, latencies_ms));
+    const double t_single = results[0].runTime;
 
     Surface s;
     s.title = variant_.fullName() + " inter-cluster communication time";
     s.bandwidthsMBs = bandwidths_mbs;
     s.latenciesMs = latencies_ms;
     s.values.resize(latencies_ms.size());
+    std::size_t next = 1;
     for (std::size_t i = 0; i < latencies_ms.size(); ++i) {
         s.values[i].resize(bandwidths_mbs.size());
         for (std::size_t j = 0; j < bandwidths_mbs.size(); ++j) {
-            RunResult r = at(bandwidths_mbs[j], latencies_ms[i]);
-            double frac = (r.runTime - t_single) / r.runTime;
+            double t_multi = results[next++].runTime;
+            double frac = (t_multi - t_single) / t_multi;
             s.values[i][j] = frac < 0 ? 0 : frac;
         }
     }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/app.h"
+#include "core/executor.h"
 #include "core/metrics.h"
 #include "core/scenario.h"
 
@@ -22,11 +23,22 @@ namespace tli::core {
  * Relative speedup is computed as T_singlecluster / T_multicluster
  * where the single-cluster time uses the same machine with every link
  * at Myrinet speed (the upper bound the paper normalizes against).
+ *
+ * Every run is submitted as a batch through an Executor: pass an
+ * exec::Engine to sweep in parallel and/or against a result cache;
+ * the default (null) executor runs serially in-process. Surfaces are
+ * bit-identical whichever executor runs them.
  */
 class GapStudy
 {
   public:
-    GapStudy(AppVariant variant, Scenario base);
+    /**
+     * @param executor batch executor for all runs; not owned, may be
+     *        null (a private serial executor is used). Must outlive
+     *        the study.
+     */
+    GapStudy(AppVariant variant, Scenario base,
+             Executor *executor = nullptr);
 
     /** Run the all-Myrinet upper bound configuration. */
     RunResult baseline() const;
@@ -54,8 +66,24 @@ class GapStudy
     const Scenario &base() const { return base_; }
 
   private:
+    /** The grid scenarios in canonical (row-major) job order,
+     *  baseline first. */
+    std::vector<ExperimentJob>
+    gridJobs(const std::vector<double> &bandwidths_mbs,
+             const std::vector<double> &latencies_ms) const;
+
+    /** Run a batch through the configured executor and verify. */
+    std::vector<RunResult>
+    submit(const std::vector<ExperimentJob> &jobs) const;
+
+    /** The multi-cluster scenario for one grid point. */
+    Scenario pointScenario(double bandwidth_mbs,
+                           double latency_ms) const;
+
     AppVariant variant_;
     Scenario base_;
+    Executor *executor_;
+    mutable SerialExecutor serial_;
 };
 
 } // namespace tli::core

@@ -1,7 +1,9 @@
 #include "core/json.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 
 #include "sim/logging.h"
@@ -45,8 +47,9 @@ jsonEscape(std::string_view s)
     return out;
 }
 
-JsonWriter::JsonWriter(std::ostream &os, int indentWidth)
-    : os_(os), indentWidth_(indentWidth)
+JsonWriter::JsonWriter(std::ostream &os, int indentWidth,
+                       bool fullPrecision)
+    : os_(os), indentWidth_(indentWidth), fullPrecision_(fullPrecision)
 {
 }
 
@@ -172,8 +175,10 @@ JsonWriter::value(double v)
     }
     char buf[32];
     // %.12g: round-trips every value this project produces while
-    // keeping reports human-readable (no 17-digit noise).
-    std::snprintf(buf, sizeof buf, "%.12g", v);
+    // keeping reports human-readable (no 17-digit noise). Cache
+    // documents opt into %.17g, which round-trips any double exactly.
+    std::snprintf(buf, sizeof buf, fullPrecision_ ? "%.17g" : "%.12g",
+                  v);
     os_ << buf;
     return *this;
 }
@@ -208,6 +213,369 @@ JsonWriter::null()
     beforeValue();
     os_ << "null";
     return *this;
+}
+
+bool
+JsonValue::asBool() const
+{
+    TLI_ASSERT(kind_ == Kind::boolean, "JSON value is not a boolean");
+    return bool_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    TLI_ASSERT(kind_ == Kind::number, "JSON value is not a number");
+    return number_;
+}
+
+std::int64_t
+JsonValue::asInt() const
+{
+    TLI_ASSERT(kind_ == Kind::number && integral_,
+               "JSON value is not an integer");
+    return int_;
+}
+
+std::uint64_t
+JsonValue::asUint() const
+{
+    std::int64_t v = asInt();
+    TLI_ASSERT(v >= 0, "JSON integer is negative: ", v);
+    return static_cast<std::uint64_t>(v);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    TLI_ASSERT(kind_ == Kind::string, "JSON value is not a string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    TLI_ASSERT(kind_ == Kind::array, "JSON value is not an array");
+    return array_;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind_ != Kind::object)
+        return nullptr;
+    for (auto it = object_.rbegin(); it != object_.rend(); ++it) {
+        if (it->first == key)
+            return &it->second;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(std::string_view key) const
+{
+    const JsonValue *v = find(key);
+    TLI_ASSERT(v, "missing JSON object member \"", std::string(key),
+               "\"");
+    return *v;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    return kind_ == Kind::array ? array_.size() : 0;
+}
+
+const JsonValue &
+JsonValue::operator[](std::size_t i) const
+{
+    TLI_ASSERT(kind_ == Kind::array && i < array_.size(),
+               "JSON array index out of range");
+    return array_[i];
+}
+
+/** Recursive-descent parser over a string_view; no allocations beyond
+ *  the resulting DOM. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    std::optional<JsonValue>
+    parse(std::string *error)
+    {
+        JsonValue v;
+        if (!parseValue(v) || (skipWs(), pos_ != text_.size())) {
+            if (error) {
+                if (ok_ && pos_ != text_.size())
+                    fail("trailing characters after the document");
+                *error = error_ + " at offset " + std::to_string(pos_);
+            }
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (ok_) { // keep the innermost (first) error
+            ok_ = false;
+            error_ = what;
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("invalid literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (++depth_ > maxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        bool ok;
+        switch (text_[pos_]) {
+          case '{':
+            ok = parseObject(out);
+            break;
+          case '[':
+            ok = parseArray(out);
+            break;
+          case '"':
+            out.kind_ = JsonValue::Kind::string;
+            ok = parseString(out.string_);
+            break;
+          case 't':
+            out.kind_ = JsonValue::Kind::boolean;
+            out.bool_ = true;
+            ok = literal("true");
+            break;
+          case 'f':
+            out.kind_ = JsonValue::Kind::boolean;
+            out.bool_ = false;
+            ok = literal("false");
+            break;
+          case 'n':
+            out.kind_ = JsonValue::Kind::null;
+            ok = literal("null");
+            break;
+          default:
+            ok = parseNumber(out);
+        }
+        --depth_;
+        return ok;
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind_ = JsonValue::Kind::object;
+        ++pos_; // '{'
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.object_.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind_ = JsonValue::Kind::array;
+        ++pos_; // '['
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.array_.push_back(std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out += e;
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("invalid \\u escape");
+                }
+                // UTF-8 encode (surrogate pairs are not combined;
+                // the writer never emits them).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("invalid escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos_;
+        bool integral = true;
+        if (consume('-')) {
+        }
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            return fail("invalid value");
+        std::string lexeme(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        out.kind_ = JsonValue::Kind::number;
+        out.number_ = std::strtod(lexeme.c_str(), &end);
+        if (end != lexeme.c_str() + lexeme.size())
+            return fail("malformed number");
+        out.integral_ = integral;
+        if (integral) {
+            errno = 0;
+            out.int_ = std::strtoll(lexeme.c_str(), nullptr, 10);
+            if (errno == ERANGE)
+                out.integral_ = false; // exact view unavailable
+        }
+        return true;
+    }
+
+    static constexpr int maxDepth = 64;
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+    bool ok_ = true;
+    std::string error_;
+};
+
+std::optional<JsonValue>
+parseJson(std::string_view text, std::string *error)
+{
+    return JsonParser(text).parse(error);
 }
 
 } // namespace tli::core

@@ -1,9 +1,68 @@
 #include "core/scenario.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 namespace tli::core {
+
+namespace {
+
+/** FNV-1a, the project's canonical stable string hash. */
+std::uint64_t
+fnv1a(std::string_view s, std::uint64_t h = 0xCBF29CE484222325ULL)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+/** Full-precision canonical rendering: round-trips every double. */
+std::string
+canonicalDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::uint64_t
+Scenario::fingerprint() const
+{
+    // Canonical name=value serialization: field identity lives in the
+    // name, not in declaration order, so reordering the struct (or
+    // this list) cannot silently change the hash — the unit test pins
+    // the resulting value.
+    std::string s;
+    s += "clusters=" + std::to_string(clusters);
+    s += ";procs=" + std::to_string(procsPerCluster);
+    s += ";wan_bw=" + canonicalDouble(wanBandwidthMBs);
+    s += ";wan_lat=" + canonicalDouble(wanLatencyMs);
+    s += ";all_myrinet=" + std::to_string(allMyrinet ? 1 : 0);
+    s += ";wan_jitter=" + canonicalDouble(wanJitterFraction);
+    s += ";wan_shape=";
+    s += net::wanTopologyName(wanShape);
+    s += ";scale=" + canonicalDouble(problemScale);
+    s += ";seed=" + std::to_string(seed);
+    return fnv1a(s);
+}
+
+bool
+Scenario::operator==(const Scenario &o) const
+{
+    return clusters == o.clusters &&
+           procsPerCluster == o.procsPerCluster &&
+           wanBandwidthMBs == o.wanBandwidthMBs &&
+           wanLatencyMs == o.wanLatencyMs &&
+           allMyrinet == o.allMyrinet &&
+           wanJitterFraction == o.wanJitterFraction &&
+           wanShape == o.wanShape && problemScale == o.problemScale &&
+           seed == o.seed;
+}
 
 std::string
 Scenario::describe() const

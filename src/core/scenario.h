@@ -69,6 +69,25 @@ struct Scenario
 
     int totalRanks() const { return clusters * procsPerCluster; }
 
+    /**
+     * Stable 64-bit content hash over every semantic knob (the fields
+     * above except @c trace, which selects observability, not the
+     * experiment). The hash is computed from a canonical name=value
+     * serialization, so it is invariant under struct-field reordering
+     * and pinned by a golden value in the unit tests; it changes iff a
+     * knob's value changes. Doubles are rendered at full precision
+     * (%.17g), so distinct values never collide by rounding.
+     */
+    std::uint64_t fingerprint() const;
+
+    /**
+     * Semantic equality: all knobs equal. Like fingerprint(), ignores
+     * @c trace — two scenarios describing the same experiment compare
+     * equal regardless of where their runs are traced.
+     */
+    bool operator==(const Scenario &o) const;
+    bool operator!=(const Scenario &o) const { return !(*this == o); }
+
     net::FabricParams
     fabricParams() const
     {

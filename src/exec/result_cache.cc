@@ -1,0 +1,272 @@
+#include "exec/result_cache.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/json.h"
+#include "net/fabric.h"
+#include "sim/logging.h"
+
+namespace tli::exec {
+
+namespace {
+
+constexpr const char *kSchema = "tli-result-cache-v1";
+
+std::uint64_t
+fnv1aMix(std::string_view s, std::uint64_t h)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+void
+writeLinkStats(core::JsonWriter &w, const net::LinkStats &s)
+{
+    w.beginObject()
+        .field("messages", s.messages)
+        .field("bytes", s.bytes)
+        .field("busy_s", s.busyTime)
+        .endObject();
+}
+
+void
+writeLinkStatsArray(core::JsonWriter &w, std::string_view key,
+                    const std::vector<net::LinkStats> &v)
+{
+    w.key(key).beginArray();
+    for (const net::LinkStats &s : v)
+        writeLinkStats(w, s);
+    w.endArray();
+}
+
+net::LinkStats
+readLinkStats(const core::JsonValue &v)
+{
+    net::LinkStats s;
+    s.messages = v.at("messages").asUint();
+    s.bytes = v.at("bytes").asUint();
+    s.busyTime = v.at("busy_s").asDouble();
+    return s;
+}
+
+std::vector<net::LinkStats>
+readLinkStatsArray(const core::JsonValue &parent, std::string_view key)
+{
+    std::vector<net::LinkStats> out;
+    const core::JsonValue &arr = parent.at(key);
+    out.reserve(arr.size());
+    for (std::size_t i = 0; i < arr.size(); ++i)
+        out.push_back(readLinkStats(arr[i]));
+    return out;
+}
+
+/**
+ * Map a stored link-kind name back to the fabric's static literal —
+ * WanLinkEntry::kind is a non-owning const char*, so a loaded entry
+ * must point at storage with program lifetime.
+ */
+const char *
+canonicalKind(const std::string &name)
+{
+    for (const char *k : {"pair", "up", "down", "cw", "ccw"}) {
+        if (name == k)
+            return k;
+    }
+    return "";
+}
+
+net::WanTopology
+topologyFromName(const std::string &name)
+{
+    if (name == "star")
+        return net::WanTopology::star;
+    if (name == "ring")
+        return net::WanTopology::ring;
+    return net::WanTopology::fullyConnected;
+}
+
+} // namespace
+
+std::string
+jobFingerprint(const core::AppVariant &variant,
+               const core::Scenario &scenario)
+{
+    std::uint64_t h = scenario.fingerprint();
+    h = fnv1aMix("|app=", h);
+    h = fnv1aMix(variant.app, h);
+    h = fnv1aMix("|variant=", h);
+    h = fnv1aMix(variant.variant, h);
+    h = fnv1aMix("|salt=", h);
+    h = fnv1aMix(kCacheSalt, h);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, h);
+    return buf;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        TLI_FATAL("cannot create cache directory ", dir_, ": ",
+                  ec.message());
+    }
+}
+
+std::string
+ResultCache::entryPath(const std::string &fingerprint) const
+{
+    return dir_ + "/" + fingerprint + ".json";
+}
+
+std::optional<core::RunResult>
+ResultCache::load(const std::string &fingerprint) const
+{
+    std::ifstream f(entryPath(fingerprint));
+    if (!f)
+        return std::nullopt;
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    std::optional<core::JsonValue> doc = core::parseJson(buf.str());
+    if (!doc)
+        return std::nullopt;
+    const core::JsonValue *schema = doc->find("schema");
+    if (!schema || schema->asString() != kSchema)
+        return std::nullopt;
+
+    const core::JsonValue &res = doc->at("result");
+    core::RunResult r;
+    r.runTime = res.at("run_time_s").asDouble();
+    r.checksum = res.at("checksum").asDouble();
+    r.verified = res.at("verified").asBool();
+    const core::JsonValue &compute = res.at("compute_per_rank_s");
+    r.computePerRank.reserve(compute.size());
+    for (std::size_t i = 0; i < compute.size(); ++i)
+        r.computePerRank.push_back(compute[i].asDouble());
+
+    const core::JsonValue &t = doc->at("traffic");
+    net::FabricStats &stats = r.traffic;
+    stats.wanTopology =
+        topologyFromName(t.at("wan_topology").asString());
+    stats.clusters = static_cast<int>(t.at("clusters").asInt());
+    stats.intra = readLinkStats(t.at("intra"));
+    stats.inter = readLinkStats(t.at("inter"));
+    stats.wanTransit = t.at("wan_transit_s").asDouble();
+    stats.interPerCluster = readLinkStatsArray(t, "per_cluster");
+    stats.nics = readLinkStatsArray(t, "nics");
+    stats.gatewayOut = readLinkStatsArray(t, "gateway_out");
+    stats.gatewayIn = readLinkStatsArray(t, "gateway_in");
+    const core::JsonValue &links = t.at("wan_links");
+    stats.wanLinks.reserve(links.size());
+    for (std::size_t i = 0; i < links.size(); ++i) {
+        net::WanLinkEntry e;
+        std::int64_t a = links[i].at("a").asInt();
+        std::int64_t b = links[i].at("b").asInt();
+        e.a = a < 0 ? invalidCluster : static_cast<ClusterId>(a);
+        e.b = b < 0 ? invalidCluster : static_cast<ClusterId>(b);
+        e.kind = canonicalKind(links[i].at("kind").asString());
+        e.stats = readLinkStats(links[i].at("stats"));
+        stats.wanLinks.push_back(e);
+    }
+    return r;
+}
+
+void
+ResultCache::store(const std::string &fingerprint,
+                   const core::ExperimentJob &job,
+                   const core::RunResult &result) const
+{
+    // Unique temp name per thread; rename() is atomic within the
+    // directory, so readers only ever see complete files.
+    std::ostringstream tmpName;
+    tmpName << dir_ << "/." << fingerprint << "."
+            << std::this_thread::get_id() << ".tmp";
+    const std::string tmp = tmpName.str();
+    {
+        std::ofstream f(tmp);
+        if (!f) {
+            TLI_FATAL("cannot write cache entry ", tmp);
+        }
+        core::JsonWriter w(f, 2, /*fullPrecision=*/true);
+        w.beginObject();
+        w.field("schema", kSchema);
+        w.field("fingerprint", fingerprint);
+        w.field("label", job.displayLabel());
+
+        // The scenario block is informational (the fingerprint is the
+        // address); it makes cache entries self-describing.
+        const core::Scenario &s = job.scenario;
+        w.key("scenario").beginObject();
+        w.field("app", job.variant.app);
+        w.field("variant", job.variant.variant);
+        w.field("clusters", s.clusters);
+        w.field("procs_per_cluster", s.procsPerCluster);
+        w.field("wan_bandwidth_mbs", s.wanBandwidthMBs);
+        w.field("wan_latency_ms", s.wanLatencyMs);
+        w.field("all_myrinet", s.allMyrinet);
+        w.field("wan_jitter", s.wanJitterFraction);
+        w.field("wan_topology", net::wanTopologyName(s.wanShape));
+        w.field("problem_scale", s.problemScale);
+        w.field("seed", s.seed);
+        w.endObject();
+
+        w.key("result").beginObject();
+        w.field("run_time_s", result.runTime);
+        w.field("checksum", result.checksum);
+        w.field("verified", result.verified);
+        w.key("compute_per_rank_s").beginArray();
+        for (double c : result.computePerRank)
+            w.value(c);
+        w.endArray();
+        w.endObject();
+
+        const net::FabricStats &t = result.traffic;
+        w.key("traffic").beginObject();
+        w.field("wan_topology", net::wanTopologyName(t.wanTopology));
+        w.field("clusters", t.clusters);
+        w.key("intra");
+        writeLinkStats(w, t.intra);
+        w.key("inter");
+        writeLinkStats(w, t.inter);
+        w.field("wan_transit_s", t.wanTransit);
+        writeLinkStatsArray(w, "per_cluster", t.interPerCluster);
+        writeLinkStatsArray(w, "nics", t.nics);
+        writeLinkStatsArray(w, "gateway_out", t.gatewayOut);
+        writeLinkStatsArray(w, "gateway_in", t.gatewayIn);
+        w.key("wan_links").beginArray();
+        for (const net::WanLinkEntry &e : t.wanLinks) {
+            w.beginObject();
+            w.field("a", e.a == invalidCluster
+                             ? std::int64_t{-1}
+                             : static_cast<std::int64_t>(e.a));
+            w.field("b", e.b == invalidCluster
+                             ? std::int64_t{-1}
+                             : static_cast<std::int64_t>(e.b));
+            w.field("kind", e.kind);
+            w.key("stats");
+            writeLinkStats(w, e.stats);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+
+        w.endObject();
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, entryPath(fingerprint), ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        TLI_FATAL("cannot commit cache entry for ", fingerprint, ": ",
+                  ec.message());
+    }
+}
+
+} // namespace tli::exec

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Content-addressed persistence of RunResults: every completed
+ * experiment is stored under its job fingerprint (scenario knobs +
+ * app/variant + code-version salt), so interrupted sweeps resume and
+ * extended parameter grids only pay for the new points.
+ */
+
+#ifndef TWOLAYER_EXEC_RESULT_CACHE_H_
+#define TWOLAYER_EXEC_RESULT_CACHE_H_
+
+#include <optional>
+#include <string>
+
+#include "core/executor.h"
+#include "core/scenario.h"
+
+namespace tli::exec {
+
+/**
+ * Version salt folded into every fingerprint. Bump whenever a change
+ * anywhere in the simulator alters simulated results (timing model,
+ * app workloads, collectives ...): the bump orphans every existing
+ * cache entry instead of silently serving stale numbers.
+ */
+inline constexpr const char *kCacheSalt = "tli-exec-v1";
+
+/**
+ * Content address of one experiment: 16 lowercase hex digits hashing
+ * the scenario fingerprint, the app/variant identity and kCacheSalt.
+ * Two jobs share a fingerprint iff they describe the same simulated
+ * experiment under the current code version.
+ */
+std::string jobFingerprint(const core::AppVariant &variant,
+                           const core::Scenario &scenario);
+
+/**
+ * A directory of "<fingerprint>.json" result files (schema
+ * "tli-result-cache-v1", full-precision doubles so a loaded RunResult
+ * is bit-identical to the stored one).
+ *
+ * Concurrency: store() writes to a per-thread temp file and renames
+ * into place, so concurrent writers (even across processes) never
+ * interleave bytes; the last complete write wins, and identical
+ * fingerprints imply identical content anyway. load() tolerates
+ * missing, truncated or foreign files by reporting a miss.
+ */
+class ResultCache
+{
+  public:
+    /** Opens (and creates if needed) the cache directory. */
+    explicit ResultCache(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** @return the cached result for @p fingerprint, or a miss. */
+    std::optional<core::RunResult>
+    load(const std::string &fingerprint) const;
+
+    /** Persist @p result under @p fingerprint (atomic rename). */
+    void store(const std::string &fingerprint,
+               const core::ExperimentJob &job,
+               const core::RunResult &result) const;
+
+    /** Path of the entry file for @p fingerprint. */
+    std::string entryPath(const std::string &fingerprint) const;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace tli::exec
+
+#endif // TWOLAYER_EXEC_RESULT_CACHE_H_

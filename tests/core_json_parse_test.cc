@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The JSON reader (parseJson/JsonValue) and its round trip with
+ * JsonWriter — the pair the exec result cache persists through. A
+ * cache is only correct if every double survives write → parse
+ * bit-identically, so that property is tested explicitly.
+ */
+
+#include "core/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace tli::core {
+namespace {
+
+JsonValue
+parsed(const std::string &text)
+{
+    std::string error;
+    std::optional<JsonValue> v = parseJson(text, &error);
+    EXPECT_TRUE(v.has_value()) << error << " in: " << text;
+    return v ? *v : JsonValue{};
+}
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(parsed("null").isNull());
+    EXPECT_EQ(parsed("true").asBool(), true);
+    EXPECT_EQ(parsed("false").asBool(), false);
+    EXPECT_EQ(parsed("42").asInt(), 42);
+    EXPECT_EQ(parsed("-7").asInt(), -7);
+    EXPECT_DOUBLE_EQ(parsed("2.5e3").asDouble(), 2500.0);
+    EXPECT_EQ(parsed("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParse, IntegralLexemesKeepAnExactView)
+{
+    JsonValue v = parsed("9007199254740993"); // 2^53 + 1
+    EXPECT_EQ(v.asInt(), 9007199254740993LL);
+    // A fractional lexeme has no exact integer view.
+    EXPECT_EQ(parsed("2.0").kind(), JsonValue::Kind::number);
+}
+
+TEST(JsonParse, Containers)
+{
+    JsonValue v = parsed("{\"a\": [1, 2, 3], \"b\": {\"c\": true}}");
+    const JsonValue &arr = v.at("a");
+    ASSERT_EQ(arr.size(), 3u);
+    EXPECT_EQ(arr[0].asInt(), 1);
+    EXPECT_EQ(arr[2].asInt(), 3);
+    EXPECT_EQ(v.at("b").at("c").asBool(), true);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    EXPECT_EQ(parsed("\"a\\nb\\t\\\"c\\\\\"").asString(),
+              "a\nb\t\"c\\");
+    EXPECT_EQ(parsed("\"\\u0041\\u00e9\"").asString(), "A\xC3\xA9");
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,", "{\"a\"}", "tru", "\"unterminated",
+          "01x", "[1 2]", "{\"a\":1,}", "\"\x01\"", "nan"}) {
+        std::string error;
+        EXPECT_FALSE(parseJson(bad, &error).has_value())
+            << "accepted: " << bad;
+        EXPECT_FALSE(error.empty());
+    }
+    // Trailing garbage after a complete document.
+    EXPECT_FALSE(parseJson("{} x").has_value());
+    // Unbounded nesting is refused rather than overflowing the stack.
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    EXPECT_FALSE(parseJson(deep).has_value());
+}
+
+TEST(JsonRoundTrip, FullPrecisionDoublesAreBitIdentical)
+{
+    const double values[] = {0.0,
+                             1.0 / 3.0,
+                             6.3,
+                             -0.1,
+                             1e-300,
+                             8.7e300,
+                             std::numeric_limits<double>::epsilon(),
+                             std::nextafter(1.0, 2.0)};
+    std::ostringstream os;
+    {
+        JsonWriter w(os, 2, /*fullPrecision=*/true);
+        w.beginArray();
+        for (double v : values)
+            w.value(v);
+        w.endArray();
+    }
+    JsonValue doc = parsed(os.str());
+    ASSERT_EQ(doc.size(), std::size(values));
+    for (std::size_t i = 0; i < std::size(values); ++i) {
+        // Exact equality on purpose: the result cache must reproduce
+        // stored RunResults bit-identically.
+        EXPECT_EQ(doc[i].asDouble(), values[i]) << "index " << i;
+    }
+}
+
+TEST(JsonRoundTrip, WriterDocumentParses)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("schema", "test-v1");
+        w.field("count", 3);
+        w.field("enabled", true);
+        w.key("values").beginArray();
+        w.value(1.5).value(-2).null();
+        w.endArray();
+        w.key("nested").beginObject();
+        w.field("name", "a \"quoted\" name\n");
+        w.endObject();
+        w.endObject();
+    }
+    JsonValue doc = parsed(os.str());
+    EXPECT_EQ(doc.at("schema").asString(), "test-v1");
+    EXPECT_EQ(doc.at("count").asInt(), 3);
+    EXPECT_EQ(doc.at("enabled").asBool(), true);
+    ASSERT_EQ(doc.at("values").size(), 3u);
+    EXPECT_TRUE(doc.at("values")[2].isNull());
+    EXPECT_EQ(doc.at("nested").at("name").asString(),
+              "a \"quoted\" name\n");
+}
+
+} // namespace
+} // namespace tli::core

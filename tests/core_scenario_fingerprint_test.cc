@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Scenario::fingerprint() and operator== — the identity the exec
+ * result cache is addressed by. The golden value pins the hash across
+ * refactorings: because the hash is computed from a canonical
+ * name=value serialization, reordering the struct's fields (or the
+ * serialization statements) cannot change it, and this test fails
+ * loudly if someone replaces the canonical form with something
+ * layout-dependent.
+ */
+
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.h"
+
+namespace tli::core {
+namespace {
+
+/**
+ * fingerprint() of the default-constructed Scenario, computed once
+ * and pinned. Changing this value orphans every existing result
+ * cache, so it must only move together with a kCacheSalt bump (or an
+ * intentional change to the canonical serialization).
+ */
+constexpr std::uint64_t kDefaultFingerprint = 0x66D1FA1A629E44A8ULL;
+
+TEST(ScenarioFingerprint, PinnedGoldenValue)
+{
+    Scenario s;
+    EXPECT_EQ(s.fingerprint(), kDefaultFingerprint);
+}
+
+TEST(ScenarioFingerprint, EveryKnobChangesTheHash)
+{
+    const Scenario base;
+    auto differs = [&](Scenario changed) {
+        return changed.fingerprint() != base.fingerprint();
+    };
+
+    Scenario s = base;
+    s.clusters = 2;
+    EXPECT_TRUE(differs(s));
+    s = base;
+    s.procsPerCluster = 4;
+    EXPECT_TRUE(differs(s));
+    s = base;
+    s.wanBandwidthMBs = 0.95;
+    EXPECT_TRUE(differs(s));
+    s = base;
+    s.wanLatencyMs = 10;
+    EXPECT_TRUE(differs(s));
+    s = base;
+    s.allMyrinet = true;
+    EXPECT_TRUE(differs(s));
+    s = base;
+    s.wanJitterFraction = 0.3;
+    EXPECT_TRUE(differs(s));
+    s = base;
+    s.wanShape = net::WanTopology::star;
+    EXPECT_TRUE(differs(s));
+    s = base;
+    s.problemScale = 0.5;
+    EXPECT_TRUE(differs(s));
+    s = base;
+    s.seed = 7;
+    EXPECT_TRUE(differs(s));
+}
+
+TEST(ScenarioFingerprint, NearbyDoublesDoNotCollide)
+{
+    // Full-precision (%.17g) rendering: values one ulp apart are
+    // different experiments and must hash apart.
+    Scenario a;
+    Scenario b;
+    b.wanLatencyMs = std::nextafter(a.wanLatencyMs, 1e9);
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+/** A sink whose identity is all that matters here. */
+class NullSink : public sim::TraceSink
+{
+  public:
+    void onMessage(const sim::MessageTrace &) override {}
+};
+
+TEST(ScenarioFingerprint, TraceSinkIsExcluded)
+{
+    NullSink sink;
+    Scenario plain;
+    Scenario traced;
+    traced.trace = &sink;
+    // trace selects observability, not the experiment: the cache may
+    // answer a traced run's scenario and vice versa.
+    EXPECT_EQ(plain.fingerprint(), traced.fingerprint());
+    EXPECT_TRUE(plain == traced);
+}
+
+TEST(ScenarioEquality, AllKnobsEqualMeansEqual)
+{
+    Scenario a;
+    Scenario b;
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a != b);
+
+    b.seed = 43;
+    EXPECT_FALSE(a == b);
+    EXPECT_TRUE(a != b);
+
+    b = a;
+    b.wanShape = net::WanTopology::ring;
+    EXPECT_TRUE(a != b);
+}
+
+TEST(ScenarioEquality, DerivationsCompareAsExpected)
+{
+    Scenario s;
+    EXPECT_TRUE(s.asAllMyrinet() != s);
+    EXPECT_TRUE(s.asAllMyrinet() == s.asAllMyrinet());
+    EXPECT_EQ(s.asAllMyrinet().fingerprint(),
+              s.asAllMyrinet().fingerprint());
+}
+
+} // namespace
+} // namespace tli::core

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * End-to-end determinism of the experiment engine: for every
+ * application, a small full-grid GapStudy sweep run on four workers is
+ * bit-identical to the serial sweep, and a warm-cache re-run
+ * reproduces it without simulating anything. This is the property
+ * that makes --jobs a pure throughput knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "core/gap_study.h"
+#include "exec/engine.h"
+#include "exec/result_cache.h"
+
+namespace tli::exec {
+namespace {
+
+const std::vector<double> kBandwidthsMBs = {6.3, 0.3};
+const std::vector<double> kLatenciesMs = {0.5, 30};
+
+core::Scenario
+tinyScenario()
+{
+    core::Scenario s;
+    s.clusters = 2;
+    s.procsPerCluster = 2;
+    s.problemScale = 0.05;
+    return s;
+}
+
+void
+expectSameSurface(const core::Surface &a, const core::Surface &b)
+{
+    EXPECT_EQ(a.title, b.title);
+    EXPECT_EQ(a.bandwidthsMBs, b.bandwidthsMBs);
+    EXPECT_EQ(a.latenciesMs, b.latenciesMs);
+    // Bit-exact on purpose: scheduling must not leak into results.
+    EXPECT_EQ(a.values, b.values);
+}
+
+class SweepDeterminism
+    : public ::testing::TestWithParam<core::AppVariant>
+{
+};
+
+TEST_P(SweepDeterminism, ParallelAndCachedSweepsAreBitIdentical)
+{
+    const core::AppVariant &variant = GetParam();
+
+    core::GapStudy serial(variant, tinyScenario());
+    core::Surface reference =
+        serial.speedupSurface(kBandwidthsMBs, kLatenciesMs);
+
+    // Four workers, no cache: same surface, every point simulated.
+    Engine parallel({.jobs = 4});
+    core::GapStudy par(variant, tinyScenario(), &parallel);
+    expectSameSurface(
+        reference, par.speedupSurface(kBandwidthsMBs, kLatenciesMs));
+    EXPECT_EQ(parallel.lastBatch().simulated,
+              1 + kBandwidthsMBs.size() * kLatenciesMs.size());
+
+    // Cold cached sweep fills the cache, warm one only reads it.
+    std::string dir = ::testing::TempDir() + "tli_sweep_det_" +
+                      variant.app + "_" + variant.variant;
+    std::filesystem::remove_all(dir);
+    ResultCache cache(dir);
+    Engine cached({.jobs = 4, .cache = &cache});
+    core::GapStudy study(variant, tinyScenario(), &cached);
+    expectSameSurface(
+        reference,
+        study.speedupSurface(kBandwidthsMBs, kLatenciesMs));
+    EXPECT_EQ(cached.lastBatch().cacheHits, 0u);
+
+    expectSameSurface(
+        reference,
+        study.speedupSurface(kBandwidthsMBs, kLatenciesMs));
+    EXPECT_EQ(cached.lastBatch().simulated, 0u)
+        << "warm cache re-ran a simulation";
+    EXPECT_EQ(cached.lastBatch().cacheHits,
+              1 + kBandwidthsMBs.size() * kLatenciesMs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, SweepDeterminism,
+    ::testing::ValuesIn(apps::bestVariants()),
+    [](const ::testing::TestParamInfo<core::AppVariant> &info) {
+        return info.param.app + "_" + info.param.variant;
+    });
+
+} // namespace
+} // namespace tli::exec

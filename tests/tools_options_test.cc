@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The shared tli_* command-line parser, including the execution-engine
+ * flags (--jobs, --cache-dir, --no-cache) every sweep/run tool
+ * accepts, and the engine a parsed option set materializes into.
+ */
+
+#include "options.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace tli::tools {
+namespace {
+
+/** Feed a whole argv-style list; every flag must be recognized. */
+ScenarioOptions
+parseAll(const std::vector<std::string> &args)
+{
+    ScenarioOptions opts;
+    for (const std::string &arg : args)
+        EXPECT_TRUE(opts.parseOne(arg.c_str())) << arg;
+    return opts;
+}
+
+TEST(FlagValue, MatchesPrefixOnly)
+{
+    EXPECT_STREQ(flagValue("--app=water", "--app="), "water");
+    EXPECT_STREQ(flagValue("--app=", "--app="), "");
+    EXPECT_EQ(flagValue("--apple=1", "--app="), nullptr);
+    EXPECT_EQ(flagValue("app=water", "--app="), nullptr);
+}
+
+TEST(ScenarioOptionsParse, Defaults)
+{
+    ScenarioOptions opts;
+    EXPECT_EQ(opts.app, "water");
+    EXPECT_EQ(opts.variant, "opt");
+    EXPECT_EQ(opts.jobs, 0); // 0 = hardware concurrency
+    EXPECT_TRUE(opts.cacheDir.empty());
+    EXPECT_FALSE(opts.noCache);
+    EXPECT_FALSE(opts.cacheEnabled());
+}
+
+TEST(ScenarioOptionsParse, ScenarioFlags)
+{
+    ScenarioOptions opts = parseAll(
+        {"--app=fft", "--variant=unopt", "--clusters=3", "--procs=4",
+         "--bw=0.95", "--lat=12.5", "--jitter=0.25",
+         "--wan-topology=ring", "--scale=0.5", "--seed=7",
+         "--all-myrinet"});
+    EXPECT_EQ(opts.app, "fft");
+    EXPECT_EQ(opts.variant, "unopt");
+    EXPECT_EQ(opts.scenario.clusters, 3);
+    EXPECT_EQ(opts.scenario.procsPerCluster, 4);
+    EXPECT_EQ(opts.scenario.wanBandwidthMBs, 0.95);
+    EXPECT_EQ(opts.scenario.wanLatencyMs, 12.5);
+    EXPECT_EQ(opts.scenario.wanJitterFraction, 0.25);
+    EXPECT_EQ(opts.scenario.wanShape, net::WanTopology::ring);
+    EXPECT_EQ(opts.scenario.problemScale, 0.5);
+    EXPECT_EQ(opts.scenario.seed, 7u);
+    EXPECT_TRUE(opts.scenario.allMyrinet);
+}
+
+TEST(ScenarioOptionsParse, LongAliasesMatchShortForms)
+{
+    ScenarioOptions a = parseAll({"--bw=1.5", "--lat=3", "--jitter=0.1"});
+    ScenarioOptions b = parseAll(
+        {"--wan-bw=1.5", "--wan-lat=3", "--wan-jitter=0.1"});
+    EXPECT_TRUE(a.scenario == b.scenario);
+}
+
+TEST(ScenarioOptionsParse, ExecFlags)
+{
+    ScenarioOptions opts = parseAll(
+        {"--jobs=8", "--cache-dir=/tmp/tli-cache"});
+    EXPECT_EQ(opts.jobs, 8);
+    EXPECT_EQ(opts.cacheDir, "/tmp/tli-cache");
+    EXPECT_TRUE(opts.cacheEnabled());
+
+    // --no-cache wins over --cache-dir, whatever the flag order.
+    EXPECT_TRUE(opts.parseOne("--no-cache"));
+    EXPECT_TRUE(opts.noCache);
+    EXPECT_FALSE(opts.cacheEnabled());
+}
+
+TEST(ScenarioOptionsParse, ObservabilityFlags)
+{
+    ScenarioOptions opts = parseAll(
+        {"--trace=/tmp/t.json", "--json=/tmp/r.json"});
+    EXPECT_EQ(opts.tracePath, "/tmp/t.json");
+    EXPECT_EQ(opts.jsonPath, "/tmp/r.json");
+}
+
+TEST(ScenarioOptionsParse, RejectsUnknownFlags)
+{
+    ScenarioOptions opts;
+    EXPECT_FALSE(opts.parseOne("--jobs"));  // missing =N
+    EXPECT_FALSE(opts.parseOne("--cache")); // not a flag
+    EXPECT_FALSE(opts.parseOne("--wan-topology=mesh"));
+    EXPECT_FALSE(opts.parseOne("positional"));
+}
+
+TEST(MakeEngine, HonoursCacheAndJobs)
+{
+    std::string dir =
+        ::testing::TempDir() + "tli_tools_options_engine";
+    std::filesystem::remove_all(dir);
+
+    ScenarioOptions opts =
+        parseAll({"--jobs=3", "--cache-dir=" + dir});
+    ExecSetup with = makeEngine(opts, /*progress=*/false);
+    ASSERT_NE(with.cache, nullptr);
+    EXPECT_EQ(with.cache->dir(), dir);
+    EXPECT_EQ(with.engine->config().jobs, 3);
+    EXPECT_EQ(with.engine->config().cache, with.cache.get());
+    EXPECT_FALSE(with.engine->config().progress);
+    EXPECT_TRUE(std::filesystem::is_directory(dir));
+
+    opts.noCache = true;
+    ExecSetup without = makeEngine(opts, /*progress=*/true);
+    EXPECT_EQ(without.cache, nullptr);
+    EXPECT_EQ(without.engine->config().cache, nullptr);
+    EXPECT_TRUE(without.engine->config().progress);
+}
+
+} // namespace
+} // namespace tli::tools

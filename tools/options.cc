@@ -57,9 +57,30 @@ ScenarioOptions::parseOne(const char *arg)
         tracePath = v;
     else if (const char *v = flagValue(arg, "--json="))
         jsonPath = v;
+    else if (const char *v = flagValue(arg, "--jobs="))
+        jobs = std::atoi(v);
+    else if (const char *v = flagValue(arg, "--cache-dir="))
+        cacheDir = v;
+    else if (std::strcmp(arg, "--no-cache") == 0)
+        noCache = true;
     else
         return false;
     return true;
+}
+
+ExecSetup
+makeEngine(const ScenarioOptions &opts, bool progress)
+{
+    ExecSetup setup;
+    if (opts.cacheEnabled())
+        setup.cache =
+            std::make_unique<exec::ResultCache>(opts.cacheDir);
+    exec::EngineConfig config;
+    config.jobs = opts.jobs;
+    config.cache = setup.cache.get();
+    config.progress = progress;
+    setup.engine = std::make_unique<exec::Engine>(config);
+    return setup;
 }
 
 void
@@ -82,7 +103,12 @@ ScenarioOptions::usage(std::FILE *os)
         "  --seed=N               workload seed (default 42)\n"
         "  --all-myrinet          every link at Myrinet speed\n"
         "  --trace=FILE           write Chrome trace-event JSON\n"
-        "  --json=FILE            write a machine-readable report\n");
+        "  --json=FILE            write a machine-readable report\n"
+        "  --jobs=N               worker threads for batches\n"
+        "                         (default 0 = all hardware cores)\n"
+        "  --cache-dir=DIR        content-addressed result cache;\n"
+        "                         hits skip the simulation entirely\n"
+        "  --no-cache             ignore --cache-dir for this run\n");
 }
 
 } // namespace tli::tools

@@ -1,18 +1,22 @@
 /**
  * @file
  * Shared command-line surface of the tli_* tools: one parser for the
- * scenario/application flags (and the observability flags --trace and
- * --json), so every tool accepts the same spelling and new knobs land
- * everywhere at once.
+ * scenario/application flags, the observability flags (--trace,
+ * --json) and the execution-engine flags (--jobs, --cache-dir,
+ * --no-cache), so every tool accepts the same spelling and new knobs
+ * land everywhere at once.
  */
 
 #ifndef TWOLAYER_TOOLS_OPTIONS_H_
 #define TWOLAYER_TOOLS_OPTIONS_H_
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "core/scenario.h"
+#include "exec/engine.h"
+#include "exec/result_cache.h"
 
 namespace tli::tools {
 
@@ -36,6 +40,19 @@ struct ScenarioOptions
     std::string tracePath;
     /** --json=FILE: machine-readable report destination ("" = off). */
     std::string jsonPath;
+    /** --jobs=N: engine worker threads (0 = hardware concurrency). */
+    int jobs = 0;
+    /** --cache-dir=DIR: result-cache directory ("" = no cache). */
+    std::string cacheDir;
+    /** --no-cache: ignore --cache-dir, always simulate. */
+    bool noCache = false;
+
+    /** Whether a result cache is active under the parsed flags. */
+    bool
+    cacheEnabled() const
+    {
+        return !cacheDir.empty() && !noCache;
+    }
 
     /**
      * Try to consume one argv entry.
@@ -46,6 +63,23 @@ struct ScenarioOptions
     /** Print the help text for the shared options to @p os. */
     static void usage(std::FILE *os);
 };
+
+/**
+ * The execution engine a tool's flags resolve to: a ResultCache when
+ * --cache-dir is active (owned here so it outlives the engine) and an
+ * Engine configured with the requested worker count.
+ */
+struct ExecSetup
+{
+    std::unique_ptr<exec::ResultCache> cache;
+    std::unique_ptr<exec::Engine> engine;
+};
+
+/**
+ * Build the engine described by @p opts.
+ * @param progress emit completed/total + ETA lines on stderr.
+ */
+ExecSetup makeEngine(const ScenarioOptions &opts, bool progress);
 
 } // namespace tli::tools
 

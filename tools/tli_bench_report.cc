@@ -3,10 +3,12 @@
  * Perf-trajectory reporter: measures the simulator's hot paths — raw
  * event-queue throughput (against an embedded copy of the seed
  * `std::priority_queue<std::function>` implementation as a fixed
- * baseline), coroutine event dispatch, and fabric/panda messaging —
- * and emits a machine-readable BENCH_<label>.json with events/sec,
- * messages/sec, and peak RSS. Each PR appends a snapshot, so the
- * repository carries its own performance history.
+ * baseline), coroutine event dispatch, fabric/panda messaging, and
+ * the exec engine's sweep throughput (a mixed-application grid batch
+ * at 1, 4 and 8 workers plus a warm-cache replay) — and emits a
+ * machine-readable BENCH_<label>.json with events/sec, messages/sec,
+ * and peak RSS. Each PR appends a snapshot, so the repository carries
+ * its own performance history.
  *
  * Methodology: every metric is best-of-R repetitions measured with a
  * monotonic clock inside one process, so the new/baseline event-queue
@@ -14,6 +16,7 @@
  */
 
 #include <sys/resource.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -21,14 +24,19 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <queue>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "apps/registry.h"
 #include "core/json.h"
+#include "exec/engine.h"
+#include "exec/result_cache.h"
 #include "magpie/communicator.h"
 #include "net/config.h"
 #include "options.h"
@@ -261,6 +269,79 @@ measurePandaBroadcast(int rounds, int reps)
     return static_cast<double>(rounds) * (ranks - 1) / best;
 }
 
+/**
+ * The engine workload: every application's best variant over a small
+ * bandwidth x latency grid (plus its all-Myrinet baseline) on the
+ * paper's 4x8 machine — the shape of a real Figure 3/4 battery, with
+ * run times varied enough to exercise work sharing.
+ */
+std::vector<core::ExperimentJob>
+sweepJobs(double scale)
+{
+    std::vector<core::ExperimentJob> jobs;
+    for (const core::AppVariant &v : apps::bestVariants()) {
+        core::Scenario base;
+        base.problemScale = scale;
+        jobs.push_back({v, base.asAllMyrinet(), ""});
+        for (double lat : {0.5, 30.0}) {
+            for (double bw : {6.3, 0.3}) {
+                core::Scenario s = base;
+                s.wanBandwidthMBs = bw;
+                s.wanLatencyMs = lat;
+                jobs.push_back({v, s, ""});
+            }
+        }
+    }
+    return jobs;
+}
+
+struct SweepTimings
+{
+    std::size_t batchJobs = 0;
+    double serialSeconds = 0;
+    double jobs4Seconds = 0;
+    double jobs8Seconds = 0;
+    double replaySeconds = 0;
+    std::uint64_t replayHits = 0;
+    std::uint64_t replaySimulated = 0;
+};
+
+/**
+ * Wall-clock of the same batch at 1, 4 and 8 workers, plus a
+ * warm-cache replay (cache filled by an untimed run, then the timed
+ * replay must answer every job from disk).
+ */
+SweepTimings
+measureSweep(double scale, int reps)
+{
+    SweepTimings t;
+    const std::vector<core::ExperimentJob> jobs = sweepJobs(scale);
+    t.batchJobs = jobs.size();
+
+    auto timeAt = [&](int workers) {
+        exec::Engine engine({.jobs = workers});
+        return bestOf(reps, [&] { engine.run(jobs); });
+    };
+    t.serialSeconds = timeAt(1);
+    t.jobs4Seconds = timeAt(4);
+    t.jobs8Seconds = timeAt(8);
+
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("tli_bench_cache." + std::to_string(getpid())))
+            .string();
+    std::filesystem::remove_all(dir);
+    exec::ResultCache cache(dir);
+    exec::Engine fill({.jobs = 4, .cache = &cache});
+    fill.run(jobs);
+    exec::Engine replay({.jobs = 4, .cache = &cache});
+    t.replaySeconds = bestOf(reps, [&] { replay.run(jobs); });
+    t.replayHits = replay.lastBatch().cacheHits;
+    t.replaySimulated = replay.lastBatch().simulated;
+    std::filesystem::remove_all(dir);
+    return t;
+}
+
 long
 peakRssBytes()
 {
@@ -319,6 +400,10 @@ main(int argc, char **argv)
         measurePandaUnicast(unicast_msgs, reps, &counter);
     std::fprintf(stderr, "measuring panda broadcast...\n");
     double bcast_mps = measurePandaBroadcast(broadcast_rounds, reps);
+    std::fprintf(stderr,
+                 "measuring sweep engine (1/4/8 workers + cache "
+                 "replay)...\n");
+    SweepTimings sweep = measureSweep(reps <= 2 ? 0.3 : 1.0, reps);
     long rss = peakRssBytes();
 
     std::ofstream f(out);
@@ -352,6 +437,25 @@ main(int argc, char **argv)
         w.field("traced_overhead_fraction",
                 uni_mps > 0 ? 1.0 - uni_traced_mps / uni_mps : 0.0);
         w.endObject();
+        w.key("sweep").beginObject();
+        w.field("batch_jobs",
+                static_cast<std::int64_t>(sweep.batchJobs));
+        w.field("hardware_concurrency",
+                static_cast<std::int64_t>(
+                    std::thread::hardware_concurrency()));
+        w.field("jobs1_seconds", sweep.serialSeconds);
+        w.field("jobs4_seconds", sweep.jobs4Seconds);
+        w.field("jobs8_seconds", sweep.jobs8Seconds);
+        w.field("speedup_jobs4",
+                sweep.serialSeconds / sweep.jobs4Seconds);
+        w.field("speedup_jobs8",
+                sweep.serialSeconds / sweep.jobs8Seconds);
+        w.field("cache_replay_seconds", sweep.replaySeconds);
+        w.field("cache_replay_hits",
+                static_cast<std::int64_t>(sweep.replayHits));
+        w.field("cache_replay_simulated",
+                static_cast<std::int64_t>(sweep.replaySimulated));
+        w.endObject();
         w.field("peak_rss_bytes",
                 static_cast<std::int64_t>(rss));
         w.endObject();
@@ -367,6 +471,19 @@ main(int argc, char **argv)
                 uni_traced_mps,
                 100.0 * (1.0 - uni_traced_mps / uni_mps));
     std::printf("panda broadcast:  %11.0f deliveries/s\n", bcast_mps);
+    std::printf("sweep (%zu jobs): %8.3fs at 1 worker, %.3fs at 4 "
+                "(%.2fx), %.3fs at 8 (%.2fx)\n",
+                sweep.batchJobs, sweep.serialSeconds,
+                sweep.jobs4Seconds,
+                sweep.serialSeconds / sweep.jobs4Seconds,
+                sweep.jobs8Seconds,
+                sweep.serialSeconds / sweep.jobs8Seconds);
+    std::printf("  cache replay:   %10.3fs (%llu hits, %llu "
+                "simulated)\n",
+                sweep.replaySeconds,
+                static_cast<unsigned long long>(sweep.replayHits),
+                static_cast<unsigned long long>(
+                    sweep.replaySimulated));
     std::printf("peak RSS:         %11ld bytes\n", rss);
     std::printf("wrote %s\n", out.c_str());
     return 0;

@@ -5,12 +5,19 @@
  *
  *   tli_run --app=water --variant=opt --clusters=4 --procs=8 \
  *           --bw=1.0 --lat=10 [--jitter=0.5] [--scale=1] [--seed=42] \
+ *           [--cache-dir=DIR] [--no-cache] [--jobs=N] \
  *           [--trace=run.trace.json] [--json=run.report.json]
  *
  * With --list, prints the registered variants and exits. With
  * --trace, writes Chrome trace-event JSON of the run (load it in
  * chrome://tracing or Perfetto); with --json, writes the
  * tli-run-report-v1 document.
+ *
+ * The run and its all-Myrinet reference go through the exec::Engine
+ * as one batch: --jobs=2 overlaps them, and with --cache-dir a
+ * previously-completed configuration is answered from the result
+ * cache without simulating. Tracing forces the cache off — a cache
+ * hit skips the simulation, so there would be no events to write.
  */
 
 #include <cstdio>
@@ -21,6 +28,7 @@
 #include <vector>
 
 #include "apps/registry.h"
+#include "core/executor.h"
 #include "core/run_report.h"
 #include "core/scenario.h"
 #include "net/config.h"
@@ -101,7 +109,31 @@ main(int argc, char **argv)
     if (!sinks.empty())
         opts.scenario.trace = &tee;
 
-    core::RunResult r = variant.run(opts.scenario);
+    if (!sinks.empty() && opts.cacheEnabled()) {
+        std::fprintf(stderr,
+                     "note: --trace/--json request live events; "
+                     "disabling the result cache for this run\n");
+        opts.noCache = true;
+    }
+    tools::ExecSetup exec = tools::makeEngine(opts,
+                                              /*progress=*/false);
+
+    // One batch: the requested run plus (unless suppressed) its
+    // all-Myrinet reference. The reference stays out of the
+    // trace/report.
+    std::vector<core::ExperimentJob> jobs;
+    jobs.push_back({variant, opts.scenario, ""});
+    const bool with_baseline =
+        compare_baseline && !opts.scenario.allMyrinet;
+    if (with_baseline) {
+        core::Scenario base = opts.scenario.asAllMyrinet();
+        base.trace = nullptr;
+        jobs.push_back(
+            {variant, base, variant.fullName() + " all-Myrinet"});
+    }
+    std::vector<core::RunResult> results = exec.engine->run(jobs);
+
+    core::RunResult &r = results[0];
     std::printf("run time            %10.4f s\n", r.runTime);
     std::printf("verified            %10s\n", r.verified ? "yes" : "NO");
     std::printf("checksum            %10.6g\n", r.checksum);
@@ -138,14 +170,19 @@ main(int argc, char **argv)
         std::printf("wrote %s\n", opts.jsonPath.c_str());
     }
 
-    if (compare_baseline && !opts.scenario.allMyrinet) {
-        // The reference run stays out of the trace/report.
-        core::Scenario base = opts.scenario.asAllMyrinet();
-        base.trace = nullptr;
-        core::RunResult base_r = variant.run(base);
+    if (with_baseline) {
+        const core::RunResult &base_r = results[1];
         std::printf("all-Myrinet time    %10.4f s\n", base_r.runTime);
         std::printf("relative speedup    %9.1f%%\n",
                     100.0 * base_r.runTime / r.runTime);
+    }
+    if (exec.cache) {
+        const exec::BatchStats &batch = exec.engine->lastBatch();
+        std::printf("cache               %10llu hit(s), %llu "
+                    "stored (%s)\n",
+                    static_cast<unsigned long long>(batch.cacheHits),
+                    static_cast<unsigned long long>(batch.stored),
+                    opts.cacheDir.c_str());
     }
     return r.verified ? 0 : 1;
 }

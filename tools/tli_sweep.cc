@@ -7,11 +7,21 @@
  *   tli_sweep --app=water --variant=opt > water_opt.csv
  *   tli_sweep --app=fft --variant=unopt --metric=commtime \
  *             --bws=6.3,0.95,0.1 --lats=0.5,10,100 \
+ *             [--jobs=N] [--cache-dir=DIR] [--no-cache] \
  *             [--json=surface.json] [--trace=sweep.trace.json]
+ *
+ * Grid cells are independent simulations, so the sweep fans them out
+ * over an exec::Engine worker pool (--jobs, default every hardware
+ * core) and, with --cache-dir, skips any cell whose fingerprint is
+ * already cached — an interrupted sweep resumes where it stopped and
+ * an extended grid only pays for the new cells. Output is
+ * bit-identical at any worker count.
  *
  * With --json the surface is additionally written as a
  * tli-surface-v1 document; with --trace every cell's run lands in one
- * Chrome trace file, each run on its own process track.
+ * Chrome trace file, each run on its own process track (sharing one
+ * trace sink across the batch demotes it to a single worker so the
+ * event stream stays deterministic).
  */
 
 #include <cstdio>
@@ -95,8 +105,10 @@ main(int argc, char **argv)
         opts.scenario.trace = chrome.get();
     }
 
+    tools::ExecSetup exec = tools::makeEngine(opts,
+                                              /*progress=*/true);
     core::GapStudy study(apps::findVariant(opts.app, opts.variant),
-                         opts.scenario);
+                         opts.scenario, exec.engine.get());
     core::Surface surface;
     if (metric == "speedup")
         surface = study.speedupSurface(bws, lats);
@@ -110,6 +122,14 @@ main(int argc, char **argv)
         chrome->close();
         std::fprintf(stderr, "# wrote %s\n", opts.tracePath.c_str());
     }
+    const exec::BatchStats &batch = exec.engine->lastBatch();
+    std::fprintf(stderr,
+                 "# %llu runs: %llu simulated, %llu cache hits, "
+                 "%.2fs\n",
+                 static_cast<unsigned long long>(batch.jobs),
+                 static_cast<unsigned long long>(batch.simulated),
+                 static_cast<unsigned long long>(batch.cacheHits),
+                 batch.elapsedSeconds);
     std::fprintf(stderr, "# %s\n", surface.title.c_str());
     surface.writeCsv(std::cout);
     if (!opts.jsonPath.empty()) {
