@@ -25,10 +25,12 @@ main(int argc, char **argv)
                   "/ none), 4x8, 6 MB/s",
                   "Plaat et al., HPCA'99, Section 3.2 (ASP)");
 
-    core::Scenario base = opt.baseScenario();
-    base.clusters = 4;
-    base.procsPerCluster = 8;
-    base.wanBandwidthMBs = 6.0;
+    core::Scenario base = opt.baseScenario()
+                              .with()
+                              .clusters(4)
+                              .procsPerCluster(8)
+                              .wanBandwidth(6.0)
+                              .build();
 
     core::Scenario myrinet = base.asAllMyrinet();
     double t_single =
@@ -58,8 +60,7 @@ main(int argc, char **argv)
     for (const Policy &p : policies) {
         std::vector<std::string> row{p.name};
         for (double lat : lats) {
-            core::Scenario s = base;
-            s.wanLatencyMs = lat;
+            core::Scenario s = base.with().wanLatency(lat).build();
             core::RunResult r = apps::asp::run(s, p.policy);
             if (!r.verified) {
                 row.push_back("FAILED");

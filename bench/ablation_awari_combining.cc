@@ -24,11 +24,13 @@ main(int argc, char **argv)
                   "cluster layer), 4x8, 6 MB/s, 3.3 ms",
                   "Plaat et al., HPCA'99, Section 3.2 (Awari)");
 
-    core::Scenario base = opt.baseScenario();
-    base.clusters = 4;
-    base.procsPerCluster = 8;
-    base.wanBandwidthMBs = 6.0;
-    base.wanLatencyMs = 3.3;
+    core::Scenario base = opt.baseScenario()
+                              .with()
+                              .clusters(4)
+                              .procsPerCluster(8)
+                              .wanBandwidth(6.0)
+                              .wanLatency(3.3)
+                              .build();
 
     double t_single =
         apps::awari::run(base.asAllMyrinet(), false).runTime;

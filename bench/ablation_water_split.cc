@@ -23,10 +23,12 @@ main(int argc, char **argv)
                   "reduction / both), 4x8, 10 ms",
                   "Plaat et al., HPCA'99, Section 3.2 (Water)");
 
-    core::Scenario base = opt.baseScenario();
-    base.clusters = 4;
-    base.procsPerCluster = 8;
-    base.wanLatencyMs = 10;
+    core::Scenario base = opt.baseScenario()
+                              .with()
+                              .clusters(4)
+                              .procsPerCluster(8)
+                              .wanLatency(10)
+                              .build();
 
     double t_single =
         apps::water::run(base.asAllMyrinet(), false).runTime;
@@ -58,8 +60,7 @@ main(int argc, char **argv)
         std::vector<std::string> row{m.name};
         double wan_mb = 0;
         for (double bw : bws) {
-            core::Scenario s = base;
-            s.wanBandwidthMBs = bw;
+            core::Scenario s = base.with().wanBandwidth(bw).build();
             core::RunResult r =
                 apps::water::runWith(s, m.cache, m.reduce);
             if (!r.verified) {

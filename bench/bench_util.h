@@ -60,9 +60,9 @@ struct Options
     core::Scenario
     baseScenario() const
     {
-        core::Scenario s;
-        s.problemScale = scale * (quick ? 0.2 : 1.0);
-        return s;
+        return core::ScenarioBuilder()
+            .problemScale(scale * (quick ? 0.2 : 1.0))
+            .build();
     }
 
     std::vector<double>

@@ -35,11 +35,13 @@ main(int argc, char **argv)
         std::vector<std::string> row{v.fullName()};
         double t_single = 0;
         for (const Shape &sh : shapes) {
-            core::Scenario s = opt.baseScenario();
-            s.clusters = sh.clusters;
-            s.procsPerCluster = sh.procs;
-            s.wanBandwidthMBs = 6.0;
-            s.wanLatencyMs = 0.5;
+            core::Scenario s = opt.baseScenario()
+                                   .with()
+                                   .clusters(sh.clusters)
+                                   .procsPerCluster(sh.procs)
+                                   .wanBandwidth(6.0)
+                                   .wanLatency(0.5)
+                                   .build();
             core::RunResult r = v.run(s);
             if (!r.verified) {
                 row.push_back("FAILED");

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Extension study: application sensitivity to a lossy, failing wide
+ * area. The paper's links are slow but perfect; real wide-area links
+ * drop packets and suffer outages. This bench sweeps the WAN loss
+ * rate at a fixed operating point (6.0 MB/s, 10 ms, 4x8) with the
+ * reliable-delivery layer recovering every drop, and compares the
+ * drop/queue outage policies under a periodic gateway blackout.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "apps/registry.h"
+#include "bench/bench_util.h"
+#include "core/metrics.h"
+
+using namespace tli;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::Options::parse(argc, argv);
+    bench::banner("Extension: degraded WAN (loss + outages, reliable "
+                  "delivery, 6.0 MB/s, 10 ms, 4x8)",
+                  "Plaat et al., HPCA'99, Section 7 (future work: "
+                  "real wide-area behavior)");
+
+    core::Scenario base = opt.baseScenario()
+                              .with()
+                              .clusters(4)
+                              .procsPerCluster(8)
+                              .wanBandwidth(6.0)
+                              .wanLatency(10.0)
+                              .build();
+
+    std::vector<double> losses =
+        opt.quick ? std::vector<double>{0.0, 0.02}
+                  : std::vector<double>{0.0, 0.005, 0.02, 0.05};
+
+    exec::Engine engine = opt.makeEngine();
+
+    std::printf("(a) run time vs WAN loss rate, normalized to the "
+                "lossless multi-cluster run\n");
+    core::TextTable loss_table([&] {
+        std::vector<std::string> h{"application"};
+        for (double p : losses)
+            h.push_back("loss " + core::TextTable::num(100 * p, 1) +
+                        "%");
+        h.push_back("retransmits");
+        return h;
+    }());
+    for (auto &v : apps::bestVariants()) {
+        // The whole loss row is one engine batch.
+        std::vector<core::ExperimentJob> jobs;
+        for (double p : losses)
+            jobs.push_back({v, base.with().wanLoss(p).build(), ""});
+        std::vector<core::RunResult> results = engine.run(jobs);
+
+        std::vector<std::string> row{v.fullName()};
+        double t_lossless = results[0].runTime;
+        std::uint64_t retransmits = 0;
+        for (const core::RunResult &r : results) {
+            if (!r.verified) {
+                row.push_back("FAILED");
+                continue;
+            }
+            retransmits = r.traffic.delivery.retransmits;
+            row.push_back(
+                core::TextTable::num(100 * t_lossless / r.runTime,
+                                     1) +
+                "%");
+        }
+        row.push_back(std::to_string(retransmits));
+        loss_table.addRow(std::move(row));
+    }
+    loss_table.print(std::cout);
+
+    std::printf("\n(b) periodic gateway outage (50 ms blackout every "
+                "500 ms): drop vs queue policy\n");
+    core::TextTable outage_table(
+        {"application", "no outage", "drop+retransmit", "queue",
+         "outage drops"});
+    for (auto &v : apps::bestVariants()) {
+        core::Scenario drop_s = base.with()
+                                    .wanOutage(0.1, 0.05, 0.5)
+                                    .build();
+        core::Scenario queue_s = base.with()
+                                     .wanOutage(0.1, 0.05, 0.5)
+                                     .wanOutageQueue()
+                                     .build();
+        std::vector<core::ExperimentJob> jobs = {
+            {v, base, ""}, {v, drop_s, ""}, {v, queue_s, ""}};
+        std::vector<core::RunResult> results = engine.run(jobs);
+
+        std::vector<std::string> row{v.fullName()};
+        double t_clean = results[0].runTime;
+        for (const core::RunResult &r : results) {
+            if (!r.verified) {
+                row.push_back("FAILED");
+                continue;
+            }
+            row.push_back(
+                core::TextTable::num(100 * t_clean / r.runTime, 1) +
+                "%");
+        }
+        row.push_back(
+            std::to_string(results[1].traffic.wanOutageDrops));
+        outage_table.addRow(std::move(row));
+    }
+    outage_table.print(std::cout);
+
+    std::printf(
+        "\nreading: every run verifies — the acknowledgment/"
+        "retransmit layer recovers\nall losses — so degradation is "
+        "pure recovery latency. Latency-tolerant\nprograms shrug off "
+        "percent-level loss; synchronization-bound ones stall a\nfull "
+        "timeout per lost message. Queueing through an outage beats "
+        "dropping\nwhen blackouts are short: the backlog drains at "
+        "line rate instead of\nwaiting out exponential backoff.\n");
+    return 0;
+}

@@ -26,11 +26,13 @@ main(int argc, char **argv)
     core::TextTable table({"Program", "Volume MByte/s per cluster",
                            "Messages/s per cluster", "verified"});
     for (auto &v : apps::unoptimizedVariants()) {
-        core::Scenario s = opt.baseScenario();
-        s.clusters = 4;
-        s.procsPerCluster = 8;
-        s.wanBandwidthMBs = 6.0;
-        s.wanLatencyMs = 0.5;
+        core::Scenario s = opt.baseScenario()
+                               .with()
+                               .clusters(4)
+                               .procsPerCluster(8)
+                               .wanBandwidth(6.0)
+                               .wanLatency(0.5)
+                               .build();
         core::RunResult r = v.run(s);
 
         // Average outbound rate over the four clusters.

@@ -29,9 +29,11 @@ runFig3(const std::string &app, const std::vector<std::string> &variants,
                         "(4 clusters x 8 processors)";
     banner(title.c_str(), "Plaat et al., HPCA'99, Figure 3");
 
-    core::Scenario base = opt.baseScenario();
-    base.clusters = 4;
-    base.procsPerCluster = 8;
+    core::Scenario base = opt.baseScenario()
+                              .with()
+                              .clusters(4)
+                              .procsPerCluster(8)
+                              .build();
 
     // All grid points of a panel are independent: submit them through
     // the experiment engine (--jobs=N; default every hardware core).

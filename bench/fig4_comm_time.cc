@@ -25,9 +25,11 @@ main(int argc, char **argv)
                   "bandwidth (3.3 ms) and vs latency (0.9 MB/s)",
                   "Plaat et al., HPCA'99, Figure 4");
 
-    core::Scenario base = opt.baseScenario();
-    base.clusters = 4;
-    base.procsPerCluster = 8;
+    core::Scenario base = opt.baseScenario()
+                              .with()
+                              .clusters(4)
+                              .procsPerCluster(8)
+                              .build();
 
     std::vector<double> bw_grid =
         opt.quick ? std::vector<double>{6.3, 0.95, 0.1}

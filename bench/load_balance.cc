@@ -26,11 +26,13 @@ main(int argc, char **argv)
                   "(4x8, 6 MB/s, 3.3 ms)",
                   "Plaat et al., HPCA'99, Section 3.2 (TSP, Awari)");
 
-    core::Scenario s = opt.baseScenario();
-    s.clusters = 4;
-    s.procsPerCluster = 8;
-    s.wanBandwidthMBs = 6.0;
-    s.wanLatencyMs = 3.3;
+    core::Scenario s = opt.baseScenario()
+                           .with()
+                           .clusters(4)
+                           .procsPerCluster(8)
+                           .wanBandwidth(6.0)
+                           .wanLatency(3.3)
+                           .build();
 
     core::TextTable table({"program", "unopt imbalance",
                            "opt imbalance"});

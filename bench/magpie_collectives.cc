@@ -85,7 +85,7 @@ timeOp(const std::string &op, Algorithm alg, double bw_mbs,
 {
     sim::Simulation sim;
     net::Topology topo(clusters, procs);
-    net::Fabric fabric(sim, topo, net::dasParams(bw_mbs, lat_ms));
+    net::Fabric fabric(sim, topo, net::Profile::das(bw_mbs, lat_ms).params());
     panda::Panda panda(sim, fabric);
     Communicator comm(panda, alg);
     const int p = topo.totalRanks();

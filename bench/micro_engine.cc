@@ -156,7 +156,7 @@ BM_PandaUnicast(benchmark::State &state)
     for (auto _ : state) {
         sim::Simulation sim;
         net::Topology topo(4, 8);
-        net::Fabric fabric(sim, topo, net::dasParams(6.0, 0.5));
+        net::Fabric fabric(sim, topo, net::Profile::das(6.0, 0.5).params());
         panda::Panda panda(sim, fabric);
         auto receiver = [&]() -> sim::Task<void> {
             for (int i = 0; i < n; ++i)
@@ -179,7 +179,7 @@ BM_CollectiveAllreduce(benchmark::State &state)
     for (auto _ : state) {
         sim::Simulation sim;
         net::Topology topo(4, 8);
-        net::Fabric fabric(sim, topo, net::dasParams(6.0, 0.5));
+        net::Fabric fabric(sim, topo, net::Profile::das(6.0, 0.5).params());
         panda::Panda panda(sim, fabric);
         magpie::Communicator comm(panda, alg);
         auto proc = [&](Rank self) -> sim::Task<void> {

@@ -41,12 +41,15 @@ main(int argc, char **argv)
     for (auto &v : apps::bestVariants()) {
         std::vector<std::string> row{v.fullName()};
         for (double scale : scales) {
-            core::Scenario s = opt.baseScenario();
-            s.clusters = 4;
-            s.procsPerCluster = 8;
-            s.wanBandwidthMBs = 1.0;
-            s.wanLatencyMs = 10.0;
-            s.problemScale = scale * s.problemScale;
+            core::Scenario base = opt.baseScenario();
+            core::Scenario s = base.with()
+                                   .clusters(4)
+                                   .procsPerCluster(8)
+                                   .wanBandwidth(1.0)
+                                   .wanLatency(10.0)
+                                   .problemScale(scale *
+                                                 base.problemScale)
+                                   .build();
             core::GapStudy study(v, s, &engine);
             double t_single = study.baseline().runTime;
             core::RunResult r = study.at(1.0, 10.0);
@@ -80,11 +83,13 @@ main(int argc, char **argv)
         apps::asp::Config cfg;
         cfg.n = n;
         cfg.pinnedCosts = false;
-        core::Scenario s = opt.baseScenario();
-        s.clusters = 4;
-        s.procsPerCluster = 8;
-        s.wanBandwidthMBs = 1.0;
-        s.wanLatencyMs = 10.0;
+        core::Scenario s = opt.baseScenario()
+                               .with()
+                               .clusters(4)
+                               .procsPerCluster(8)
+                               .wanBandwidth(1.0)
+                               .wanLatency(10.0)
+                               .build();
         double t_single =
             apps::asp::run(s.asAllMyrinet(),
                            apps::asp::SequencerPolicy::migrating, cfg)

@@ -28,10 +28,8 @@ main(int argc, char **argv)
 
     for (auto &v : apps::unoptimizedVariants()) {
         core::Scenario seq = opt.baseScenario().asSequential();
-        core::Scenario p8 = seq;
-        p8.procsPerCluster = 8;
-        core::Scenario p32 = seq;
-        p32.procsPerCluster = 32;
+        core::Scenario p8 = seq.with().procsPerCluster(8).build();
+        core::Scenario p32 = seq.with().procsPerCluster(32).build();
 
         core::RunResult rs = v.run(seq);
         core::RunResult r8 = v.run(p8);

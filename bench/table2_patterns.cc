@@ -46,11 +46,13 @@ main(int argc, char **argv)
                   "(with measured WAN message reduction, 4x8)",
                   "Plaat et al., HPCA'99, Table 2");
 
-    core::Scenario s = opt.baseScenario();
-    s.clusters = 4;
-    s.procsPerCluster = 8;
-    s.wanBandwidthMBs = 6.0;
-    s.wanLatencyMs = 0.5;
+    core::Scenario s = opt.baseScenario()
+                           .with()
+                           .clusters(4)
+                           .procsPerCluster(8)
+                           .wanBandwidth(6.0)
+                           .wanLatency(0.5)
+                           .build();
 
     core::TextTable table({"Program", "Communication", "Optimization",
                            "WAN msgs unopt", "WAN msgs opt",

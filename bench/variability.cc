@@ -40,23 +40,23 @@ main(int argc, char **argv)
 
     exec::Engine engine = opt.makeEngine();
     for (auto &v : apps::bestVariants()) {
-        core::Scenario base = opt.baseScenario();
-        base.clusters = 4;
-        base.procsPerCluster = 8;
         // Latency-dominated operating point: variation in the draws
         // is what gates each synchronization step.
-        base.wanBandwidthMBs = 6.3;
-        base.wanLatencyMs = 30.0;
+        core::Scenario base = opt.baseScenario()
+                                  .with()
+                                  .clusters(4)
+                                  .procsPerCluster(8)
+                                  .wanBandwidth(6.3)
+                                  .wanLatency(30.0)
+                                  .build();
         core::GapStudy study(v, base, &engine);
         double t_single = study.baseline().runTime;
 
         // The whole jitter row is one engine batch.
         std::vector<core::ExperimentJob> jobs;
-        for (double jitter : jitters) {
-            core::Scenario s = base;
-            s.wanJitterFraction = jitter;
-            jobs.push_back({v, s, ""});
-        }
+        for (double jitter : jitters)
+            jobs.push_back({v, base.with().wanJitter(jitter).build(),
+                            ""});
         std::vector<core::RunResult> results = engine.run(jobs);
 
         std::vector<std::string> row{v.fullName()};

@@ -43,12 +43,14 @@ main(int argc, char **argv)
                        net::WanTopology::ring}) {
             std::vector<std::string> row{net::wanTopologyName(t)};
             for (const Shape &sh : shapes) {
-                core::Scenario s = opt.baseScenario();
-                s.clusters = sh.clusters;
-                s.procsPerCluster = sh.procs;
-                s.wanBandwidthMBs = 6.0;
-                s.wanLatencyMs = 0.5;
-                s.wanShape = t;
+                core::Scenario s = opt.baseScenario()
+                                       .with()
+                                       .clusters(sh.clusters)
+                                       .procsPerCluster(sh.procs)
+                                       .wanBandwidth(6.0)
+                                       .wanLatency(0.5)
+                                       .wanTopology(t)
+                                       .build();
                 core::Scenario my = s.asAllMyrinet();
                 double t_single = v.run(my).runTime;
                 core::RunResult r = v.run(s);

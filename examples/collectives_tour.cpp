@@ -54,7 +54,7 @@ runWith(Algorithm alg, double *completion)
 {
     sim::Simulation sim;
     net::Topology topo(4, 8);
-    net::Fabric fabric(sim, topo, net::dasParams(1.0, 30.0));
+    net::Fabric fabric(sim, topo, net::Profile::das(1.0, 30.0).params());
     panda::Panda panda(sim, fabric);
     magpie::Communicator comm(panda, alg);
 

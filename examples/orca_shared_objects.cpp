@@ -30,7 +30,7 @@ runStudy(double wan_latency_ms, int writes_per_rank)
     sim::Simulation sim;
     net::Topology topo(4, 8);
     net::Fabric fabric(sim, topo,
-                       net::dasParams(6.0, wan_latency_ms));
+                       net::Profile::das(6.0, wan_latency_ms).params());
     panda::Panda panda(sim, fabric);
     orca::ObjectRuntime runtime(panda, 8000);
 

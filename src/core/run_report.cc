@@ -21,6 +21,13 @@ ReportSink::onMessage(const sim::MessageTrace &m)
     messages_ += 1;
     if (!m.inter)
         return;
+    if (m.dropped) {
+        // Lost at the WAN ingress: the fabric's inter counter never
+        // saw it either, so keeping it out of interMessages_ preserves
+        // the exact lockstep with FabricStats.
+        droppedInter_ += 1;
+        return;
+    }
     interMessages_ += 1;
     Time wan = m.wanDone - m.gatewayDone;
     wanTransit_ += wan;
@@ -55,6 +62,7 @@ ReportSink::onMeasurementStart(Time now)
     timeline_.clear();
     messages_ = 0;
     interMessages_ = 0;
+    droppedInter_ = 0;
     wanTransit_ = 0;
     measurementStart_ = now;
 }
@@ -93,6 +101,11 @@ writeRunReport(std::ostream &os, const std::string &label,
     w.field("all_myrinet", scenario.allMyrinet);
     w.field("wan_jitter", scenario.wanJitterFraction);
     w.field("wan_topology", net::wanTopologyName(scenario.wanShape));
+    w.field("wan_loss", scenario.wanLossRate);
+    w.field("wan_outage_start", scenario.wanOutageStartS);
+    w.field("wan_outage_duration", scenario.wanOutageDurationS);
+    w.field("wan_outage_period", scenario.wanOutagePeriodS);
+    w.field("wan_outage_queue", scenario.wanOutageQueue);
     w.field("problem_scale", scenario.problemScale);
     w.field("seed", scenario.seed);
     w.endObject();
@@ -118,6 +131,15 @@ writeRunReport(std::ostream &os, const std::string &label,
     w.field("wan_transit_s", t.wanTransit);
     w.field("max_wan_utilization",
             t.maxWanUtilization(result.runTime));
+    w.field("wan_loss_drops", t.wanLossDrops);
+    w.field("wan_outage_drops", t.wanOutageDrops);
+    w.key("delivery")
+        .beginObject()
+        .field("retransmits", t.delivery.retransmits)
+        .field("duplicates", t.delivery.duplicates)
+        .field("acks", t.delivery.acks)
+        .field("duplicate_acks", t.delivery.duplicateAcks)
+        .endObject();
     w.key("per_cluster_outbound").beginArray();
     for (const net::LinkStats &s : t.interPerCluster)
         linkStats(w, s);
@@ -148,6 +170,8 @@ writeRunReport(std::ostream &os, const std::string &label,
         w.endArray();
         w.field("messages", trace->messages());
         w.field("inter_messages", trace->interMessages());
+        w.field("dropped_inter_messages",
+                trace->droppedInterMessages());
         w.field("wan_transit_s", trace->wanTransit());
 
         w.key("phases").beginArray();

@@ -91,6 +91,9 @@ class ReportSink : public sim::TraceSink
 
     std::uint64_t messages() const { return messages_; }
     std::uint64_t interMessages() const { return interMessages_; }
+    /** Wide-area messages lost at the WAN ingress (loss or outage);
+     *  kept out of interMessages() to match the fabric's counter. */
+    std::uint64_t droppedInterMessages() const { return droppedInter_; }
     /** Summed WAN transit; equals FabricStats::wanTransit exactly. */
     Time wanTransit() const { return wanTransit_; }
     Time measurementStart() const { return measurementStart_; }
@@ -103,6 +106,7 @@ class ReportSink : public sim::TraceSink
     std::vector<Bucket> timeline_;
     std::uint64_t messages_ = 0;
     std::uint64_t interMessages_ = 0;
+    std::uint64_t droppedInter_ = 0;
     Time wanTransit_ = 0;
     Time measurementStart_ = 0;
 };

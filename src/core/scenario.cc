@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "sim/logging.h"
+
 namespace tli::core {
 
 namespace {
@@ -48,6 +50,20 @@ Scenario::fingerprint() const
     s += net::wanTopologyName(wanShape);
     s += ";scale=" + canonicalDouble(problemScale);
     s += ";seed=" + std::to_string(seed);
+    // Impairment knobs joined the scenario later; append them only
+    // when one is set, so every pre-impairment fingerprint (the pinned
+    // golden, existing result-cache keys) survives unchanged while any
+    // impaired scenario still hashes all five knobs.
+    if (impaired() || wanOutageStartS != 0 || wanOutagePeriodS != 0 ||
+        wanOutageQueue) {
+        s += ";wan_loss=" + canonicalDouble(wanLossRate);
+        s += ";wan_outage_start=" + canonicalDouble(wanOutageStartS);
+        s += ";wan_outage_duration=" +
+             canonicalDouble(wanOutageDurationS);
+        s += ";wan_outage_period=" + canonicalDouble(wanOutagePeriodS);
+        s += ";wan_outage_queue=" +
+             std::to_string(wanOutageQueue ? 1 : 0);
+    }
     return fnv1a(s);
 }
 
@@ -60,8 +76,88 @@ Scenario::operator==(const Scenario &o) const
            wanLatencyMs == o.wanLatencyMs &&
            allMyrinet == o.allMyrinet &&
            wanJitterFraction == o.wanJitterFraction &&
-           wanShape == o.wanShape && problemScale == o.problemScale &&
-           seed == o.seed;
+           wanShape == o.wanShape && wanLossRate == o.wanLossRate &&
+           wanOutageStartS == o.wanOutageStartS &&
+           wanOutageDurationS == o.wanOutageDurationS &&
+           wanOutagePeriodS == o.wanOutagePeriodS &&
+           wanOutageQueue == o.wanOutageQueue &&
+           problemScale == o.problemScale && seed == o.seed;
+}
+
+std::string
+Scenario::validate() const
+{
+    std::ostringstream os;
+    if (clusters < 1) {
+        os << "clusters must be >= 1, got " << clusters;
+    } else if (procsPerCluster < 1) {
+        os << "procs per cluster must be >= 1, got "
+           << procsPerCluster;
+    } else if (!(wanBandwidthMBs > 0)) {
+        os << "wan bandwidth must be > 0 MByte/s, got "
+           << wanBandwidthMBs;
+    } else if (!(wanLatencyMs >= 0)) {
+        os << "wan latency must be >= 0 ms, got " << wanLatencyMs;
+    } else if (!(wanJitterFraction >= 0 && wanJitterFraction <= 1)) {
+        os << "wan-jitter must be in [0, 1], got "
+           << wanJitterFraction;
+    } else if (!(wanLossRate >= 0 && wanLossRate < 1)) {
+        os << "wan-loss must be in [0, 1), got " << wanLossRate;
+    } else if (!(wanOutageStartS >= 0)) {
+        os << "wan-outage-start must be >= 0 s, got "
+           << wanOutageStartS;
+    } else if (!(wanOutageDurationS >= 0)) {
+        os << "wan-outage-duration must be >= 0 s, got "
+           << wanOutageDurationS;
+    } else if (!(wanOutagePeriodS >= 0)) {
+        os << "wan-outage-period must be >= 0 s, got "
+           << wanOutagePeriodS;
+    } else if (wanOutagePeriodS > 0 && wanOutageDurationS <= 0) {
+        os << "wan-outage-period without a wan-outage-duration";
+    } else if (wanOutagePeriodS > 0 &&
+               wanOutagePeriodS <= wanOutageDurationS) {
+        os << "wan-outage-period (" << wanOutagePeriodS
+           << " s) must exceed wan-outage-duration ("
+           << wanOutageDurationS << " s)";
+    } else if (!(problemScale > 0)) {
+        os << "problem scale must be > 0, got " << problemScale;
+    }
+    return os.str();
+}
+
+Scenario
+Scenario::checked() const
+{
+    const std::string err = validate();
+    if (!err.empty())
+        TLI_FATAL("invalid scenario: ", err);
+    return *this;
+}
+
+net::FabricParams
+Scenario::fabricParams() const
+{
+    if (allMyrinet)
+        return net::Profile::allMyrinet().params();
+    net::Profile profile =
+        net::Profile::das(wanBandwidthMBs, wanLatencyMs)
+            .withJitter(wanJitterFraction,
+                        seed ^ 0x9E3779B97F4A7C15ULL)
+            .withTopology(wanShape);
+    if (impaired()) {
+        net::Impairments imp;
+        imp.lossRate = wanLossRate;
+        imp.outageStart = wanOutageStartS;
+        imp.outageDuration = wanOutageDurationS;
+        imp.outagePeriod = wanOutagePeriodS;
+        imp.outagePolicy = wanOutageQueue ? net::OutagePolicy::queue
+                                          : net::OutagePolicy::drop;
+        // A distinct derivation constant keeps the loss stream
+        // independent of the jitter stream under the same seed.
+        imp.lossSeed = seed ^ 0xC2B2AE3D27D4EB4FULL;
+        profile = profile.withImpairments(imp);
+    }
+    return profile.params();
 }
 
 std::string
@@ -75,6 +171,10 @@ Scenario::describe() const
         os << " wan=" << wanBandwidthMBs << "MB/s," << wanLatencyMs
            << "ms";
     }
+    if (!allMyrinet && wanLossRate > 0)
+        os << " loss=" << wanLossRate;
+    if (!allMyrinet && wanOutageDurationS > 0)
+        os << " outage=" << wanOutageDurationS << "s";
     if (problemScale != 1.0)
         os << " scale=" << problemScale;
     return os.str();

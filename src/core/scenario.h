@@ -54,6 +54,24 @@ struct Scenario
      */
     net::WanTopology wanShape = net::WanTopology::fullyConnected;
 
+    /**
+     * Per-message wide-area drop probability in [0, 1). Non-zero loss
+     * activates the reliable-delivery protocol (acknowledgements,
+     * retransmission), so runs complete correctly but slower.
+     */
+    double wanLossRate = 0.0;
+    /** First wide-area outage begins at this simulated second. */
+    double wanOutageStartS = 0.0;
+    /** Length of each outage window, seconds (0 = no outages). */
+    double wanOutageDurationS = 0.0;
+    /** Outage repetition period, seconds (0 = a single window). */
+    double wanOutagePeriodS = 0.0;
+    /**
+     * During an outage, hold wide-area traffic at the gateway until
+     * the window ends instead of dropping it.
+     */
+    bool wanOutageQueue = false;
+
     /** Workload scale factor relative to each app's default input. */
     double problemScale = 1.0;
     std::uint64_t seed = 42;
@@ -69,6 +87,13 @@ struct Scenario
 
     int totalRanks() const { return clusters * procsPerCluster; }
 
+    /** Whether any wide-area impairment knob is set. */
+    bool
+    impaired() const
+    {
+        return wanLossRate > 0 || wanOutageDurationS > 0;
+    }
+
     /**
      * Stable 64-bit content hash over every semantic knob (the fields
      * above except @c trace, which selects observability, not the
@@ -77,8 +102,22 @@ struct Scenario
      * and pinned by a golden value in the unit tests; it changes iff a
      * knob's value changes. Doubles are rendered at full precision
      * (%.17g), so distinct values never collide by rounding.
+     * Impairment knobs are appended only when one of them is
+     * non-default, so every pre-impairment fingerprint — including the
+     * pinned golden and the result-cache keys of existing sweeps —
+     * is preserved.
      */
     std::uint64_t fingerprint() const;
+
+    /**
+     * Check every knob for consistency. Returns the empty string when
+     * the scenario is runnable, else a one-line human-readable
+     * description of the first problem found (e.g. "wan-loss must be
+     * in [0, 1), got 1.5"). ScenarioBuilder::build() enforces this;
+     * the CLI tools print it and exit instead of asserting deep in
+     * the simulator.
+     */
+    std::string validate() const;
 
     /**
      * Semantic equality: all knobs equal. Like fingerprint(), ignores
@@ -88,18 +127,20 @@ struct Scenario
     bool operator==(const Scenario &o) const;
     bool operator!=(const Scenario &o) const { return !(*this == o); }
 
-    net::FabricParams
-    fabricParams() const
-    {
-        if (allMyrinet)
-            return net::allMyrinetParams();
-        net::FabricParams p =
-            net::dasParams(wanBandwidthMBs, wanLatencyMs);
-        p.wanJitter = wanJitterFraction;
-        p.jitterSeed = seed ^ 0x9E3779B97F4A7C15ULL;
-        p.wanTopology = wanShape;
-        return p;
-    }
+    /**
+     * The fabric timing this scenario describes, composed from the
+     * calibrated net::Profile presets. All-Myrinet scenarios ignore
+     * the wide-area knobs (jitter, shape, impairments) — every link is
+     * a local one.
+     */
+    net::FabricParams fabricParams() const;
+
+    /** Fluent derivation: a builder pre-seeded with this scenario. */
+    class ScenarioBuilder with() const;
+
+    /** A validated copy: TLI_FATALs with validate()'s message if the
+     *  scenario is inconsistent. The builder's build() uses this. */
+    Scenario checked() const;
 
     /** The same machine with every link at Myrinet speed. */
     Scenario
@@ -123,6 +164,130 @@ struct Scenario
 
     std::string describe() const;
 };
+
+/**
+ * Fluent construction and derivation of scenarios. Seeded from a base
+ * Scenario (Scenario::with() or the defaulted constructor), mutated
+ * through named setters, and finished with build(), which validates
+ * every knob — so a nonsensical configuration fails loudly at the API
+ * boundary, with a readable message, instead of asserting deep inside
+ * the simulator:
+ *
+ *     Scenario s = base.with().wanLoss(0.02).wanJitter(0.1).build();
+ *
+ * error() exposes the validation result without terminating, which is
+ * what the CLI tools use to print it and exit gracefully.
+ */
+class ScenarioBuilder
+{
+  public:
+    ScenarioBuilder() = default;
+    explicit ScenarioBuilder(const Scenario &base) : s_(base) {}
+
+    ScenarioBuilder &
+    clusters(int n)
+    {
+        s_.clusters = n;
+        return *this;
+    }
+    ScenarioBuilder &
+    procsPerCluster(int n)
+    {
+        s_.procsPerCluster = n;
+        return *this;
+    }
+    /** Wide-area application-level bandwidth, MByte/s. */
+    ScenarioBuilder &
+    wanBandwidth(double mbyte_per_sec)
+    {
+        s_.wanBandwidthMBs = mbyte_per_sec;
+        return *this;
+    }
+    /** Wide-area one-way latency, milliseconds. */
+    ScenarioBuilder &
+    wanLatency(double ms)
+    {
+        s_.wanLatencyMs = ms;
+        return *this;
+    }
+    ScenarioBuilder &
+    allMyrinet(bool on = true)
+    {
+        s_.allMyrinet = on;
+        return *this;
+    }
+    /** Wide-area latency variability fraction in [0, 1]. */
+    ScenarioBuilder &
+    wanJitter(double fraction)
+    {
+        s_.wanJitterFraction = fraction;
+        return *this;
+    }
+    ScenarioBuilder &
+    wanTopology(net::WanTopology shape)
+    {
+        s_.wanShape = shape;
+        return *this;
+    }
+    /** Per-message wide-area drop probability in [0, 1). */
+    ScenarioBuilder &
+    wanLoss(double rate)
+    {
+        s_.wanLossRate = rate;
+        return *this;
+    }
+    /** Schedule outage windows: first at @p start_s, each lasting
+     *  @p duration_s, repeating every @p period_s (0 = just one). */
+    ScenarioBuilder &
+    wanOutage(double start_s, double duration_s, double period_s = 0)
+    {
+        s_.wanOutageStartS = start_s;
+        s_.wanOutageDurationS = duration_s;
+        s_.wanOutagePeriodS = period_s;
+        return *this;
+    }
+    /** Queue at the gateway during outages instead of dropping. */
+    ScenarioBuilder &
+    wanOutageQueue(bool on = true)
+    {
+        s_.wanOutageQueue = on;
+        return *this;
+    }
+    ScenarioBuilder &
+    problemScale(double scale)
+    {
+        s_.problemScale = scale;
+        return *this;
+    }
+    ScenarioBuilder &
+    seed(std::uint64_t value)
+    {
+        s_.seed = value;
+        return *this;
+    }
+    /** Observability sink for the run (not a semantic knob). */
+    ScenarioBuilder &
+    trace(sim::TraceSink *sink)
+    {
+        s_.trace = sink;
+        return *this;
+    }
+
+    /** The first validation problem, or "" if the result is runnable. */
+    std::string error() const { return s_.validate(); }
+
+    /** Finish: TLI_FATALs with a readable message when invalid. */
+    Scenario build() const { return s_.checked(); }
+
+  private:
+    Scenario s_;
+};
+
+inline ScenarioBuilder
+Scenario::with() const
+{
+    return ScenarioBuilder(*this);
+}
 
 /**
  * The outcome of one application run: simulated run time, traffic

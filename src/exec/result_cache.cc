@@ -160,6 +160,20 @@ ResultCache::load(const std::string &fingerprint) const
     stats.intra = readLinkStats(t.at("intra"));
     stats.inter = readLinkStats(t.at("inter"));
     stats.wanTransit = t.at("wan_transit_s").asDouble();
+    // Impairment-era fields, read tolerantly: entries written before
+    // they existed (necessarily unimpaired runs) stay valid with the
+    // counters at zero.
+    if (const core::JsonValue *v = t.find("wan_loss_drops"))
+        stats.wanLossDrops = v->asUint();
+    if (const core::JsonValue *v = t.find("wan_outage_drops"))
+        stats.wanOutageDrops = v->asUint();
+    if (const core::JsonValue *d = t.find("delivery")) {
+        stats.delivery.retransmits = d->at("retransmits").asUint();
+        stats.delivery.duplicates = d->at("duplicates").asUint();
+        stats.delivery.acks = d->at("acks").asUint();
+        stats.delivery.duplicateAcks =
+            d->at("duplicate_acks").asUint();
+    }
     stats.interPerCluster = readLinkStatsArray(t, "per_cluster");
     stats.nics = readLinkStatsArray(t, "nics");
     stats.gatewayOut = readLinkStatsArray(t, "gateway_out");
@@ -214,6 +228,11 @@ ResultCache::store(const std::string &fingerprint,
         w.field("all_myrinet", s.allMyrinet);
         w.field("wan_jitter", s.wanJitterFraction);
         w.field("wan_topology", net::wanTopologyName(s.wanShape));
+        w.field("wan_loss", s.wanLossRate);
+        w.field("wan_outage_start", s.wanOutageStartS);
+        w.field("wan_outage_duration", s.wanOutageDurationS);
+        w.field("wan_outage_period", s.wanOutagePeriodS);
+        w.field("wan_outage_queue", s.wanOutageQueue);
         w.field("problem_scale", s.problemScale);
         w.field("seed", s.seed);
         w.endObject();
@@ -237,6 +256,15 @@ ResultCache::store(const std::string &fingerprint,
         w.key("inter");
         writeLinkStats(w, t.inter);
         w.field("wan_transit_s", t.wanTransit);
+        w.field("wan_loss_drops", t.wanLossDrops);
+        w.field("wan_outage_drops", t.wanOutageDrops);
+        w.key("delivery")
+            .beginObject()
+            .field("retransmits", t.delivery.retransmits)
+            .field("duplicates", t.delivery.duplicates)
+            .field("acks", t.delivery.acks)
+            .field("duplicate_acks", t.delivery.duplicateAcks)
+            .endObject();
         writeLinkStatsArray(w, "per_cluster", t.interPerCluster);
         writeLinkStatsArray(w, "nics", t.nics);
         writeLinkStatsArray(w, "gateway_out", t.gatewayOut);

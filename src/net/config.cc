@@ -3,7 +3,7 @@
 namespace tli::net {
 
 LinkParams
-myrinetParams()
+Profile::myrinetLink()
 {
     LinkParams p;
     p.latency = microseconds(15);
@@ -13,7 +13,7 @@ myrinetParams()
 }
 
 LinkParams
-wideAreaParams(double mbyte_per_sec, double latency_ms)
+Profile::wideAreaLink(double mbyte_per_sec, double latency_ms)
 {
     LinkParams p;
     p.latency = milliseconds(latency_ms);
@@ -23,7 +23,7 @@ wideAreaParams(double mbyte_per_sec, double latency_ms)
 }
 
 LinkParams
-gatewayParams()
+Profile::gatewayLink()
 {
     LinkParams p;
     p.latency = 0;
@@ -32,23 +32,48 @@ gatewayParams()
     return p;
 }
 
-FabricParams
-dasParams(double wan_mbyte_per_sec, double wan_latency_ms)
+Profile
+Profile::das(double wan_mbyte_per_sec, double wan_latency_ms)
 {
     FabricParams p;
-    p.local = myrinetParams();
-    p.wide = wideAreaParams(wan_mbyte_per_sec, wan_latency_ms);
-    p.gateway = gatewayParams();
-    return p;
+    p.local = myrinetLink();
+    p.wide = wideAreaLink(wan_mbyte_per_sec, wan_latency_ms);
+    p.gateway = gatewayLink();
+    return Profile(p);
 }
 
-FabricParams
-allMyrinetParams()
+Profile
+Profile::allMyrinet()
 {
     FabricParams p;
-    p.local = myrinetParams();
-    p.wide = myrinetParams();
-    return p;
+    p.local = myrinetLink();
+    p.wide = myrinetLink();
+    return Profile(p);
+}
+
+Profile
+Profile::withImpairments(const Impairments &impairments) const
+{
+    FabricParams p = params_;
+    p.impairments = impairments;
+    return Profile(p);
+}
+
+Profile
+Profile::withJitter(double fraction, std::uint64_t seed) const
+{
+    FabricParams p = params_;
+    p.wanJitter = fraction;
+    p.jitterSeed = seed;
+    return Profile(p);
+}
+
+Profile
+Profile::withTopology(WanTopology shape) const
+{
+    FabricParams p = params_;
+    p.wanTopology = shape;
+    return Profile(p);
 }
 
 const std::vector<double> &

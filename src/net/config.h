@@ -1,7 +1,8 @@
 /**
  * @file
- * Calibrated parameter presets for the DAS-style testbed the paper
- * emulates, and the bandwidth/latency sweep grids of its evaluation.
+ * Network profiles: calibrated parameter presets for the DAS-style
+ * testbed the paper emulates, expressed as a single composable value
+ * type, plus the bandwidth/latency sweep grids of its evaluation.
  */
 
 #ifndef TWOLAYER_NET_CONFIG_H_
@@ -10,43 +11,89 @@
 #include <vector>
 
 #include "net/fabric.h"
+#include "net/impairments.h"
 #include "sim/types.h"
 
 namespace tli::net {
-
-/**
- * Intra-cluster Myrinet, calibrated to the paper: 20 us application
- * level one-way latency, 50 MByte/s application-level bandwidth. We
- * split the 20 us into 5 us of per-message host overhead (occupies the
- * NIC) and 15 us of pipelined latency.
- */
-LinkParams myrinetParams();
-
-/**
- * A wide-area ATM/TCP link with the given application-level bandwidth
- * (MByte/s) and one-way latency (milliseconds). The TCP protocol stack
- * in the gateways adds a fixed per-message occupancy.
- */
-LinkParams wideAreaParams(double mbyte_per_sec, double latency_ms);
 
 /** Per-message TCP/gateway overhead on wide-area links, seconds. */
 constexpr Time wideAreaPerMessageCost = 0.20e-3;
 
 /**
- * Gateway TCP processing capacity on the DAS (software TCP on a
- * 200 MHz Pentium Pro over OC3 ATM: ~14 MByte/s application level).
+ * A complete, named two-layer network configuration that yields the
+ * FabricParams a Fabric is built from. Profiles are immutable values:
+ * the factories return the calibrated presets, and the with*()
+ * derivations return a copy with one aspect replaced, so a fully
+ * impaired star-topology DAS reads as one expression:
+ *
+ *   Profile::das(6.0, 0.5)
+ *       .withTopology(WanTopology::star)
+ *       .withImpairments({.lossRate = 0.01})
+ *       .params()
  */
-LinkParams gatewayParams();
+class Profile
+{
+  public:
+    /**
+     * The two-layer DAS: Myrinet inside clusters, a wide-area ATM/TCP
+     * link of the given application-level bandwidth (MByte/s) and
+     * one-way latency (milliseconds) between them, and the calibrated
+     * finite-capacity gateways.
+     */
+    static Profile das(double wan_mbyte_per_sec, double wan_latency_ms);
 
-/** A two-layer fabric parameter set with the default local layer. */
-FabricParams dasParams(double wan_mbyte_per_sec, double wan_latency_ms);
+    /**
+     * A machine with every link at Myrinet speed (the paper's
+     * single-cluster upper bound). The wide layer is never meant to
+     * matter but is set to Myrinet speeds for safety.
+     */
+    static Profile allMyrinet();
 
-/**
- * Fabric parameters for a single all-Myrinet cluster (the paper's
- * upper-bound configuration). The wide layer is never used but is set
- * to Myrinet speeds for safety.
- */
-FabricParams allMyrinetParams();
+    /** This profile with the given wide-area impairments attached. */
+    Profile withImpairments(const Impairments &impairments) const;
+
+    /**
+     * This profile with wide-area latency jitter: each WAN message's
+     * propagation latency is drawn uniformly from
+     * [latency*(1-fraction), latency*(1+fraction)].
+     */
+    Profile withJitter(double fraction, std::uint64_t seed) const;
+
+    /** This profile with the given wide-area shape. */
+    Profile withTopology(WanTopology shape) const;
+
+    /** The fabric parameters this profile describes. */
+    const FabricParams &params() const { return params_; }
+
+    /**
+     * Intra-cluster Myrinet, calibrated to the paper: 20 us
+     * application-level one-way latency, 50 MByte/s application-level
+     * bandwidth. The 20 us split into 5 us of per-message host
+     * overhead (occupies the NIC) and 15 us of pipelined latency.
+     */
+    static LinkParams myrinetLink();
+
+    /**
+     * A wide-area ATM/TCP link with the given application-level
+     * bandwidth (MByte/s) and one-way latency (milliseconds). The TCP
+     * protocol stack in the gateways adds a fixed per-message
+     * occupancy.
+     */
+    static LinkParams wideAreaLink(double mbyte_per_sec,
+                                   double latency_ms);
+
+    /**
+     * Gateway TCP processing capacity on the DAS (software TCP on a
+     * 200 MHz Pentium Pro over OC3 ATM: ~14 MByte/s application
+     * level).
+     */
+    static LinkParams gatewayLink();
+
+  private:
+    explicit Profile(FabricParams params) : params_(params) {}
+
+    FabricParams params_;
+};
 
 /** The paper's Fig. 3 bandwidth grid, MByte/s (fast to slow). */
 const std::vector<double> &figureBandwidthsMBs();

@@ -11,10 +11,20 @@ namespace tli::net {
 Fabric::Fabric(sim::Simulation &sim, const Topology &topo,
                const FabricParams &params)
     : sim_(sim), topo_(topo), params_(params),
-      jitterRng_(params.jitterSeed)
+      jitterRng_(params.jitterSeed),
+      lossRng_(params.impairments.lossSeed)
 {
     TLI_ASSERT(params.wanJitter >= 0 && params.wanJitter <= 1,
                "wanJitter must be within [0, 1]");
+    const Impairments &imp = params.impairments;
+    TLI_ASSERT(imp.lossRate >= 0 && imp.lossRate < 1,
+               "lossRate must be within [0, 1)");
+    TLI_ASSERT(imp.outageStart >= 0 && imp.outageDuration >= 0 &&
+                   imp.outagePeriod >= 0,
+               "negative outage timing");
+    TLI_ASSERT(imp.outagePeriod <= 0 ||
+                   imp.outagePeriod > imp.outageDuration,
+               "outage period must exceed the outage duration");
     const int ranks = topo_.totalRanks();
     const int clusters = topo_.clusterCount();
     nics_.reserve(ranks);
@@ -62,26 +72,39 @@ Fabric::send(Rank src, Rank dst, std::uint64_t bytes,
         intra_.messages += 1;
         intra_.bytes += bytes;
         if (auto *t = sim_.trace()) {
-            t->onMessage({traceSeq_++, src, dst, 1, bytes, false, sc,
-                          dc, now, arrival, arrival, arrival,
-                          arrival});
+            t->onMessage({traceSeq_++, src, dst, 1, bytes, false,
+                          false, sc, dc, now, arrival, arrival,
+                          arrival, arrival});
         }
     } else if (sc == dc) {
         arrival = nics_[src].transmit(now, bytes);
         intra_.messages += 1;
         intra_.bytes += bytes;
         if (auto *t = sim_.trace()) {
-            t->onMessage({traceSeq_++, src, dst, 1, bytes, false, sc,
-                          dc, now, arrival, arrival, arrival,
-                          arrival});
+            t->onMessage({traceSeq_++, src, dst, 1, bytes, false,
+                          false, sc, dc, now, arrival, arrival,
+                          arrival, arrival});
         }
     } else {
         // Hop to the local gateway over the sender's NIC...
         Time at_gateway = nics_[src].transmit(now, bytes);
         // ...through the gateway's protocol stack...
         Time gw_done = gatewayOut_[sc].transmit(at_gateway, bytes);
-        // ...across the wide area...
-        Time at_remote_gw = wanTransit(sc, dc, gw_done, bytes);
+        // ...and, if the impairment model lets it through, across the
+        // wide area. A lost message has occupied the NIC and source
+        // gateway; it never reaches a WAN link and never delivers.
+        Time wan_at = gw_done;
+        if (!admitWan(wan_at)) {
+            intra_.messages += 1;
+            intra_.bytes += bytes;
+            if (auto *t = sim_.trace()) {
+                t->onMessage({traceSeq_++, src, dst, 1, bytes, true,
+                              true, sc, dc, now, at_gateway, gw_done,
+                              gw_done, gw_done});
+            }
+            return;
+        }
+        Time at_remote_gw = wanTransit(sc, dc, wan_at, bytes);
         // ...and through the remote gateway to the target.
         arrival = gatewayIn_[dc].transmit(at_remote_gw, bytes);
         arrival = inOrder(src, dst, arrival + wanLatencyAdjust());
@@ -95,9 +118,9 @@ Fabric::send(Rank src, Rank dst, std::uint64_t bytes,
         per.messages += 1;
         per.bytes += bytes;
         if (auto *t = sim_.trace()) {
-            t->onMessage({traceSeq_++, src, dst, 1, bytes, true, sc,
-                          dc, now, at_gateway, gw_done, at_remote_gw,
-                          arrival});
+            t->onMessage({traceSeq_++, src, dst, 1, bytes, true,
+                          false, sc, dc, now, at_gateway, gw_done,
+                          at_remote_gw, arrival});
         }
     }
 
@@ -134,8 +157,9 @@ Fabric::multicastLocal(Rank src, const std::vector<Rank> &dsts,
     if (auto *t = sim_.trace()) {
         const ClusterId sc = topo_.clusterOf(src);
         t->onMessage({traceSeq_++, src, dsts.front(),
-                      static_cast<int>(dsts.size()), bytes, false, sc,
-                      sc, now, arrival, arrival, arrival, arrival});
+                      static_cast<int>(dsts.size()), bytes, false,
+                      false, sc, sc, now, arrival, arrival, arrival,
+                      arrival});
     }
     // Share one copy of the handler: the per-destination events then
     // capture (shared_ptr, Rank), which stays inside EventFn's inline
@@ -163,7 +187,21 @@ Fabric::multicastToCluster(Rank src, ClusterId dc,
 
     Time at_gateway = nics_[src].transmit(now, bytes);
     Time gw_done = gatewayOut_[sc].transmit(at_gateway, bytes);
-    Time at_remote_gw = wanTransit(sc, dc, gw_done, bytes);
+    // The bundle crosses the wide area as one transfer, so one loss
+    // draw (or outage window) claims the whole fan-out.
+    Time wan_at = gw_done;
+    if (!admitWan(wan_at)) {
+        intra_.messages += 1;
+        intra_.bytes += bytes;
+        if (auto *t = sim_.trace()) {
+            t->onMessage({traceSeq_++, src, dsts.front(),
+                          static_cast<int>(dsts.size()), bytes, true,
+                          true, sc, dc, now, at_gateway, gw_done,
+                          gw_done, gw_done});
+        }
+        return;
+    }
+    Time at_remote_gw = wanTransit(sc, dc, wan_at, bytes);
     // One inbound pass fans out to all members of the cluster.
     Time arrival = gatewayIn_[dc].transmit(at_remote_gw, bytes);
     // The whole bundle shares one jitter draw and one delivery time;
@@ -183,9 +221,9 @@ Fabric::multicastToCluster(Rank src, ClusterId dc,
     per.bytes += bytes;
     if (auto *t = sim_.trace()) {
         t->onMessage({traceSeq_++, src, dsts.front(),
-                      static_cast<int>(dsts.size()), bytes, true, sc,
-                      dc, now, at_gateway, gw_done, at_remote_gw,
-                      arrival});
+                      static_cast<int>(dsts.size()), bytes, true,
+                      false, sc, dc, now, at_gateway, gw_done,
+                      at_remote_gw, arrival});
     }
 
     auto handler =
@@ -314,6 +352,30 @@ FabricStats::maxWanUtilization(Time elapsed) const
     return busiest / elapsed;
 }
 
+bool
+Fabric::admitWan(Time &at)
+{
+    const Impairments &imp = params_.impairments;
+    if (!imp.active())
+        return true;
+    if (imp.outageDuration > 0 && imp.down(at)) {
+        if (imp.outagePolicy == OutagePolicy::drop) {
+            ++outageDrops_;
+            return false;
+        }
+        // Queue at the gateway until the window ends, then compete
+        // for the WAN link like any other message.
+        at = imp.upAt(at);
+    }
+    // The loss draw is consumed only for messages that reach an "up"
+    // wide area, so the loss stream is independent of outage phasing.
+    if (imp.lossRate > 0 && lossRng_.uniform() < imp.lossRate) {
+        ++lossDrops_;
+        return false;
+    }
+    return true;
+}
+
 Time
 Fabric::wanLatencyAdjust()
 {
@@ -344,6 +406,9 @@ Fabric::stats() const
     s.inter = inter_;
     s.interPerCluster = interPerCluster_;
     s.wanTransit = wanTransit_;
+    s.wanLossDrops = lossDrops_;
+    s.wanOutageDrops = outageDrops_;
+    s.delivery = delivery_;
 
     s.wanLinks.reserve(wanLinks_.size());
     const bool full =
@@ -386,6 +451,9 @@ Fabric::resetStats()
     for (auto &s : interPerCluster_)
         s = LinkStats{};
     wanTransit_ = 0;
+    lossDrops_ = 0;
+    outageDrops_ = 0;
+    delivery_ = DeliveryStats{};
     for (Link &l : nics_)
         l.resetStats();
     for (Link &l : wanLinks_)

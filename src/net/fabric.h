@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "net/impairments.h"
 #include "net/link.h"
 #include "net/topology.h"
 #include "sim/random.h"
@@ -49,8 +50,8 @@ struct FabricParams
      * Gateway machine processing capacity: every byte entering or
      * leaving a cluster over the wide area passes through the
      * dedicated gateway's protocol stack (software TCP on the DAS).
-     * Defaults to an effectively unbounded gateway; dasParams() sets a
-     * realistic finite value.
+     * Defaults to an effectively unbounded gateway; Profile::das()
+     * sets a realistic finite value.
      */
     LinkParams gateway{0.0, 1e12, 0.0};
 
@@ -68,6 +69,33 @@ struct FabricParams
     double wanJitter = 0.0;
     /** Seed of the jitter stream (runs stay reproducible). */
     std::uint64_t jitterSeed = 0x1234;
+
+    /**
+     * Wide-area impairments (message loss, gateway outage windows).
+     * Inactive by default: a fabric with no impairments takes exactly
+     * the pre-impairment code path, consumes no random draws for
+     * them, and is bit-identical to one built before they existed.
+     */
+    Impairments impairments;
+};
+
+/**
+ * Counters of the reliable-delivery protocol layered above the fabric
+ * (see panda::Reliable). The fabric owns the storage — it is the
+ * single stats surface — and the messaging layer increments the
+ * counters through Fabric::deliveryCounters(); resetStats() zeroes
+ * them together with the traffic counters.
+ */
+struct DeliveryStats
+{
+    /** Data frames re-sent after a timeout. */
+    std::uint64_t retransmits = 0;
+    /** Data frames suppressed at the receiver as already seen. */
+    std::uint64_t duplicates = 0;
+    /** Acknowledgements delivered for still-pending frames. */
+    std::uint64_t acks = 0;
+    /** Acknowledgements for frames that were already acknowledged. */
+    std::uint64_t duplicateAcks = 0;
 };
 
 /**
@@ -116,6 +144,13 @@ struct FabricStats
      * route-aware lookup.
      */
     std::vector<WanLinkEntry> wanLinks;
+    /** Messages lost to random wide-area drops (Impairments::lossRate). */
+    std::uint64_t wanLossDrops = 0;
+    /** Messages refused because the WAN was inside an outage window. */
+    std::uint64_t wanOutageDrops = 0;
+    /** Reliable-delivery protocol counters (zero when no reliability
+     *  layer runs above this fabric). */
+    DeliveryStats delivery;
     /** Outbound NIC usage per rank. */
     std::vector<LinkStats> nics;
     /** Per-cluster gateway protocol usage, by direction. */
@@ -199,6 +234,14 @@ class Fabric
     const FabricParams &params() const { return params_; }
 
     /**
+     * Mutable reliable-delivery counters for the messaging layer
+     * running above this fabric (panda::Reliable). Kept here so
+     * stats() snapshots traffic and protocol behaviour together and
+     * resetStats() clears both at measurement start.
+     */
+    DeliveryStats &deliveryCounters() { return delivery_; }
+
+    /**
      * One consistent snapshot of every fabric counter (layer
      * aggregates, per-link, per-NIC, per-gateway), covering the
      * interval since the last resetStats().
@@ -247,6 +290,15 @@ class Fabric
     /** Sampled latency perturbation for one wide-area message. */
     Time wanLatencyAdjust();
 
+    /**
+     * Apply the configured impairments to a wide-area injection at
+     * time @p at (the moment the message clears the source gateway).
+     * Returns false if the message is lost — the caller must not
+     * deliver it — and otherwise leaves in @p at the (possibly
+     * deferred, under OutagePolicy::queue) WAN injection time.
+     */
+    bool admitWan(Time &at);
+
     /** Clamp @p arrival so (src, dst) delivery stays in send order. */
     Time inOrder(Rank src, Rank dst, Time arrival);
 
@@ -254,6 +306,10 @@ class Fabric
     Topology topo_;
     FabricParams params_;
     sim::Random jitterRng_;
+    /** Loss stream; drawn once per WAN injection iff lossRate > 0,
+     *  and independent of jitterRng_ so enabling loss leaves the
+     *  jitter draws untouched. */
+    sim::Random lossRng_;
     /**
      * Last delivery time per (src, dst) rank pair (TCP ordering),
      * indexed by orderIndex(). A flat R*R vector: consulted on every
@@ -294,6 +350,9 @@ class Fabric
     LinkStats inter_;
     std::vector<LinkStats> interPerCluster_;
     Time wanTransit_ = 0;
+    std::uint64_t lossDrops_ = 0;
+    std::uint64_t outageDrops_ = 0;
+    DeliveryStats delivery_;
     /** Next MessageTrace id (advanced only while a sink is attached). */
     std::uint64_t traceSeq_ = 0;
 };

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Wide-area impairment model: seeded per-message loss and scheduled
+ * gateway outage windows. The paper's testbed emulates the WAN as
+ * fixed delay loops and leaves real-WAN misbehaviour as future work
+ * (§7); this is the robustness axis the simulator adds on top.
+ */
+
+#ifndef TWOLAYER_NET_IMPAIRMENTS_H_
+#define TWOLAYER_NET_IMPAIRMENTS_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace tli::net {
+
+/** What a gateway does with traffic offered during an outage. */
+enum class OutagePolicy
+{
+    /** Refuse the message; it is lost (the reliable layer re-sends). */
+    drop,
+    /** Hold the message at the gateway until the outage ends. */
+    queue,
+};
+
+/**
+ * Impairments applied at the wide-area ingress of the fabric: each
+ * inter-cluster message is dropped with probability @c lossRate (drawn
+ * from a seeded stream, so runs are reproducible), and during an
+ * outage window the WAN refuses traffic entirely. Outages are
+ * scheduled deterministically: the first begins at @c outageStart and
+ * lasts @c outageDuration; with @c outagePeriod > 0 the window repeats
+ * every period. Local links are never impaired.
+ */
+struct Impairments
+{
+    /** Per-message drop probability on wide-area crossings, [0, 1). */
+    double lossRate = 0.0;
+    /** Simulated time the first outage begins, seconds. */
+    Time outageStart = 0.0;
+    /** Length of each outage window, seconds (0 = no outages). */
+    Time outageDuration = 0.0;
+    /** Window repetition period, seconds (0 = a single outage). */
+    Time outagePeriod = 0.0;
+    /** Behaviour of traffic offered while the WAN is down. */
+    OutagePolicy outagePolicy = OutagePolicy::drop;
+    /** Seed of the loss stream (independent of the jitter stream). */
+    std::uint64_t lossSeed = 0x10551;
+
+    /** Whether any impairment is configured at all. The fabric takes
+     *  the exact pre-impairment code path when this is false, so a
+     *  default-constructed Impairments is bit-identical to none. */
+    bool
+    active() const
+    {
+        return lossRate > 0 || outageDuration > 0;
+    }
+
+    /** Is the wide area down (inside an outage window) at @p t? */
+    bool
+    down(Time t) const
+    {
+        if (outageDuration <= 0 || t < outageStart)
+            return false;
+        if (outagePeriod <= 0)
+            return t < outageStart + outageDuration;
+        Time phase = std::fmod(t - outageStart, outagePeriod);
+        return phase < outageDuration;
+    }
+
+    /** Earliest time at or after @p t the wide area is up again. */
+    Time
+    upAt(Time t) const
+    {
+        if (!down(t))
+            return t;
+        if (outagePeriod <= 0)
+            return outageStart + outageDuration;
+        Time windows = std::floor((t - outageStart) / outagePeriod);
+        return outageStart + windows * outagePeriod + outageDuration;
+    }
+};
+
+} // namespace tli::net
+
+#endif // TWOLAYER_NET_IMPAIRMENTS_H_

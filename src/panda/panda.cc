@@ -8,6 +8,8 @@ namespace tli::panda {
 Panda::Panda(sim::Simulation &sim, net::Fabric &fabric)
     : sim_(sim), fabric_(fabric)
 {
+    if (fabric_.params().impairments.active())
+        reliable_ = std::make_unique<Reliable>(sim_, fabric_);
     const int ranks = fabric_.topology().totalRanks();
     mailboxes_.resize(ranks);
     replySeq_.assign(ranks, 0);
@@ -39,7 +41,7 @@ Panda::send(Rank src, Rank dst, int tag, std::uint64_t payload_bytes,
     msg->tag = tag;
     msg->wireBytes = payload_bytes + headerBytes;
     msg->payload = std::move(payload);
-    fabric_.send(src, dst, msg->wireBytes, [this, msg] {
+    transport(src, dst, msg->wireBytes, [this, msg] {
         mailbox(msg->dst, msg->tag).send(std::move(*msg));
     });
 }
@@ -57,7 +59,7 @@ Panda::rpc(Rank self, Rank dst, int tag, std::uint64_t payload_bytes,
     msg->wireBytes = payload_bytes + headerBytes;
     msg->replyTag = rtag;
     msg->payload = std::move(payload);
-    fabric_.send(self, dst, msg->wireBytes, [this, msg] {
+    transport(self, dst, msg->wireBytes, [this, msg] {
         mailbox(msg->dst, msg->tag).send(std::move(*msg));
     });
 
@@ -112,8 +114,22 @@ Panda::multicast(Rank src, const std::vector<Rank> &dsts, int tag,
         fabric_.multicastLocal(src, local, wire, deliver);
     }
     for (auto &[cluster, members] : remote) {
-        ++sendCount_;
-        fabric_.multicastToCluster(src, cluster, members, wire, deliver);
+        if (reliable_) {
+            // The wide-area half of the tree degrades to reliable
+            // unicasts: a lost gateway bundle would need selective
+            // per-member recovery anyway, so each remote member gets
+            // its own sequenced, acknowledged frame (full wire size
+            // each — the documented price of reliability here).
+            for (Rank d : members) {
+                ++sendCount_;
+                reliable_->send(src, d, wire,
+                                [deliver, d] { deliver(d); });
+            }
+        } else {
+            ++sendCount_;
+            fabric_.multicastToCluster(src, cluster, members, wire,
+                                       deliver);
+        }
     }
 }
 

@@ -16,6 +16,7 @@
 
 #include "net/fabric.h"
 #include "panda/message.h"
+#include "panda/reliable.h"
 #include "sim/channel.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
@@ -88,7 +89,31 @@ class Panda
     /** Total messages injected (diagnostics). */
     std::uint64_t sendCount() const { return sendCount_; }
 
+    /**
+     * The reliable-delivery protocol instance, or null when the fabric
+     * has no impairments configured (loss-free runs take the exact
+     * pre-protocol path and stay bit-identical to it).
+     */
+    const Reliable *reliable() const { return reliable_.get(); }
+
   private:
+    /**
+     * Inject one unicast: through the reliable protocol when the
+     * fabric is impaired, straight into the fabric otherwise. A
+     * template so the unimpaired path hands the callable to the fabric
+     * unconverted (it stays inside EventFn's inline buffer).
+     */
+    template <typename F>
+    void
+    transport(Rank src, Rank dst, std::uint64_t wire_bytes, F &&deliver)
+    {
+        if (reliable_)
+            reliable_->send(src, dst, wire_bytes,
+                            std::forward<F>(deliver));
+        else
+            fabric_.send(src, dst, wire_bytes, std::forward<F>(deliver));
+    }
+
     int
     nextReplyTag(Rank rank)
     {
@@ -99,6 +124,7 @@ class Panda
 
     sim::Simulation &sim_;
     net::Fabric &fabric_;
+    std::unique_ptr<Reliable> reliable_;
     std::vector<std::unordered_map<int,
         std::unique_ptr<sim::Channel<Message>>>> mailboxes_;
     std::vector<int> replySeq_;

@@ -1,0 +1,122 @@
+#include "panda/reliable.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tli::panda {
+
+Reliable::Reliable(sim::Simulation &sim, net::Fabric &fabric)
+    : sim_(sim), fabric_(fabric)
+{
+}
+
+Reliable::PairState &
+Reliable::pair(Rank src, Rank dst)
+{
+    const std::uint64_t ranks = fabric_.topology().totalRanks();
+    return pairs_[static_cast<std::uint64_t>(src) * ranks + dst];
+}
+
+Time
+Reliable::initialRto(std::uint64_t bytes) const
+{
+    const net::FabricParams &p = fabric_.params();
+    // A generous static bound on one data + ack round trip: worst-case
+    // propagation (jitter included), per-message costs and the frame's
+    // serialization on the slowest hop, doubled for both directions,
+    // plus a fixed slack for queueing. Deliberately loose — a spurious
+    // retransmit costs wide-area bytes, a tight timer costs many.
+    const double bw = std::min(
+        {p.local.bandwidth, p.wide.bandwidth, p.gateway.bandwidth});
+    const Time serialize =
+        static_cast<double>(bytes + ackBytes) / bw;
+    const Time one_way = p.local.latency +
+                         p.wide.latency * (1.0 + p.wanJitter) +
+                         p.gateway.latency;
+    const Time per_msg = p.local.perMessageCost +
+                         p.wide.perMessageCost +
+                         p.gateway.perMessageCost;
+    return 2 * (one_way + per_msg + serialize) + 1e-3;
+}
+
+void
+Reliable::send(Rank src, Rank dst, std::uint64_t wire_bytes,
+               std::function<void()> deliver)
+{
+    if (fabric_.topology().sameCluster(src, dst)) {
+        // Local links are never impaired; keep the fast path (and its
+        // wire size) exactly as without the protocol.
+        fabric_.send(src, dst, wire_bytes, std::move(deliver));
+        return;
+    }
+    PairState &ps = pair(src, dst);
+    const std::uint64_t seq = ps.nextSendSeq++;
+    ps.deliverFns.emplace(seq, std::move(deliver));
+    const std::uint64_t data_bytes = wire_bytes + seqHeaderBytes;
+    auto pend = std::make_shared<Pending>();
+    pend->rto = initialRto(data_bytes);
+    ps.inFlight.emplace(seq, pend);
+    transmit(src, dst, seq, data_bytes, std::move(pend));
+}
+
+void
+Reliable::transmit(Rank src, Rank dst, std::uint64_t seq,
+                   std::uint64_t data_bytes,
+                   std::shared_ptr<Pending> pend)
+{
+    fabric_.send(src, dst, data_bytes,
+                 [this, src, dst, seq] { onData(src, dst, seq); });
+    sim_.schedule(pend->rto,
+                  [this, src, dst, seq, data_bytes, pend] {
+                      if (pend->acked)
+                          return;
+                      ++fabric_.deliveryCounters().retransmits;
+                      ++pend->attempt;
+                      pend->rto = std::min(pend->rto * 2, maxRto);
+                      transmit(src, dst, seq, data_bytes, pend);
+                  });
+}
+
+void
+Reliable::onData(Rank src, Rank dst, std::uint64_t seq)
+{
+    PairState &ps = pair(src, dst);
+    // Acknowledge every copy: the original ack may itself have been
+    // lost, and only a fresh one stops the sender's retransmissions.
+    fabric_.send(dst, src, ackBytes,
+                 [this, src, dst, seq] { onAck(src, dst, seq); });
+    if (seq < ps.nextDeliverSeq || ps.ready.count(seq)) {
+        ++fabric_.deliveryCounters().duplicates;
+        return;
+    }
+    ps.ready.insert(seq);
+    // Hand over the in-sequence prefix. A delivery action may send
+    // again on this very pair; the maps tolerate that (no iterators
+    // are held across the call).
+    while (ps.ready.count(ps.nextDeliverSeq)) {
+        auto it = ps.deliverFns.find(ps.nextDeliverSeq);
+        TLI_ASSERT(it != ps.deliverFns.end(),
+                   "reliable frame without a delivery action");
+        std::function<void()> fn = std::move(it->second);
+        ps.deliverFns.erase(it);
+        ps.ready.erase(ps.nextDeliverSeq);
+        ++ps.nextDeliverSeq;
+        fn();
+    }
+}
+
+void
+Reliable::onAck(Rank src, Rank dst, std::uint64_t seq)
+{
+    PairState &ps = pair(src, dst);
+    auto it = ps.inFlight.find(seq);
+    if (it == ps.inFlight.end()) {
+        ++fabric_.deliveryCounters().duplicateAcks;
+        return;
+    }
+    it->second->acked = true;
+    ps.inFlight.erase(it);
+    ++fabric_.deliveryCounters().acks;
+}
+
+} // namespace tli::panda

@@ -118,6 +118,10 @@ ChromeTraceSink::onMessage(const MessageTrace &m)
     }
     span("nic", m.enqueue, m.nicDone, m.src, a);
     span("gw-out", m.nicDone, m.gatewayDone, m.src, a);
+    if (m.dropped) {
+        event("drop", "msg", 'i', m.gatewayDone, 0, m.src, a);
+        return;
+    }
     span("wan", m.gatewayDone, m.wanDone, m.src, a);
     span("gw-in", m.wanDone, m.deliver, m.src, a);
 }

@@ -40,8 +40,15 @@ struct MessageTrace
     /** Number of ranks this delivery fans out to (1 for unicast). */
     int fanout = 1;
     std::uint64_t bytes = 0;
-    /** Crossed the wide area. */
+    /** Crossed (or attempted to cross) the wide area. */
     bool inter = false;
+    /**
+     * Lost at the wide-area ingress (random loss or an outage
+     * window): the message occupied the sender's NIC and source
+     * gateway, then vanished — @c wanDone and @c deliver collapse
+     * onto @c gatewayDone and no delivery event fires.
+     */
+    bool dropped = false;
     ClusterId srcCluster = invalidCluster;
     ClusterId dstCluster = invalidCluster;
 

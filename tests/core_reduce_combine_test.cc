@@ -29,7 +29,7 @@ struct World
 
     World(int clusters, int procs)
         : topo(clusters, procs),
-          fabric(sim, topo, net::dasParams(1.0, 10.0)),
+          fabric(sim, topo, net::Profile::das(1.0, 10.0).params()),
           panda(sim, fabric)
     {
     }

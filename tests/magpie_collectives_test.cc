@@ -30,7 +30,7 @@ struct World
     Communicator comm;
 
     World(int clusters, int procs, Algorithm alg,
-          net::FabricParams p = net::dasParams(6.0, 10.0))
+          net::FabricParams p = net::Profile::das(6.0, 10.0).params())
         : topo(clusters, procs), fabric(sim, topo, p),
           panda(sim, fabric), comm(panda, alg)
     {
@@ -442,7 +442,7 @@ TEST(MagpieProperties, MagpieBcastFasterOnHighLatency)
 {
     // At 100 ms WAN latency the cluster-aware tree must win clearly.
     auto timeOf = [](Algorithm alg) {
-        World w(4, 8, alg, net::dasParams(6.0, 100.0));
+        World w(4, 8, alg, net::Profile::das(6.0, 100.0).params());
         auto proc = [&](Rank self) -> sim::Task<void> {
             Vec data = self == 0 ? Vec(1000, 1.0) : Vec{};
             (void)co_await w.comm.bcast(self, 0, std::move(data));

@@ -26,7 +26,7 @@ struct World
 
     World(int clusters, int procs, Algorithm alg)
         : topo(clusters, procs),
-          fabric(sim, topo, net::dasParams(6.0, 1.0)),
+          fabric(sim, topo, net::Profile::das(6.0, 1.0).params()),
           panda(sim, fabric), comm(panda, alg)
     {
     }

@@ -206,7 +206,7 @@ TEST(Fabric, GatewayCapacityThrottlesAggregateTraffic)
 
 TEST(Config, GatewayMatchesDasTcpThroughput)
 {
-    LinkParams p = gatewayParams();
+    LinkParams p = Profile::gatewayLink();
     EXPECT_DOUBLE_EQ(p.bandwidth, 14e6);
     EXPECT_GT(p.perMessageCost, 0.0);
 }
@@ -440,7 +440,7 @@ TEST(Fabric, InterleavedP2pAndMulticastDeliverInSendOrder)
 
 TEST(Config, MyrinetMatchesPaperNumbers)
 {
-    LinkParams p = myrinetParams();
+    LinkParams p = Profile::myrinetLink();
     // 20 us application-level one-way latency total.
     EXPECT_DOUBLE_EQ(p.latency + p.perMessageCost, 20e-6);
     EXPECT_DOUBLE_EQ(p.bandwidth, 50e6);

@@ -20,7 +20,7 @@ namespace {
 FabricParams
 jitteryParams(double jitter, std::uint64_t seed = 7)
 {
-    FabricParams p = dasParams(1.0, 10.0);
+    FabricParams p = Profile::das(1.0, 10.0).params();
     p.wanJitter = jitter;
     p.jitterSeed = seed;
     return p;

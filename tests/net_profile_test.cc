@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The net::Profile value type: calibrated presets and the with*()
+ * derivations that compose a fully configured fabric parameter set.
+ */
+
+#include "net/config.h"
+
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+
+namespace tli::net {
+namespace {
+
+TEST(Profile, DasComposesCalibratedLayers)
+{
+    FabricParams p = Profile::das(6.0, 10.0).params();
+    // Local layer is the calibrated Myrinet.
+    EXPECT_DOUBLE_EQ(p.local.latency, 15e-6);
+    EXPECT_DOUBLE_EQ(p.local.bandwidth, 50e6);
+    EXPECT_DOUBLE_EQ(p.local.perMessageCost, 5e-6);
+    // Wide layer carries the requested operating point.
+    EXPECT_DOUBLE_EQ(p.wide.latency, 10e-3);
+    EXPECT_DOUBLE_EQ(p.wide.bandwidth, 6e6);
+    EXPECT_DOUBLE_EQ(p.wide.perMessageCost, wideAreaPerMessageCost);
+    // Gateways are the calibrated finite TCP stacks.
+    EXPECT_DOUBLE_EQ(p.gateway.bandwidth, 14e6);
+    EXPECT_DOUBLE_EQ(p.gateway.perMessageCost, 100e-6);
+    // Nothing else is switched on by a bare preset.
+    EXPECT_EQ(p.wanTopology, WanTopology::fullyConnected);
+    EXPECT_DOUBLE_EQ(p.wanJitter, 0.0);
+    EXPECT_FALSE(p.impairments.active());
+}
+
+TEST(Profile, AllMyrinetUsesLocalSpeedEverywhere)
+{
+    FabricParams p = Profile::allMyrinet().params();
+    EXPECT_DOUBLE_EQ(p.wide.latency, p.local.latency);
+    EXPECT_DOUBLE_EQ(p.wide.bandwidth, p.local.bandwidth);
+    EXPECT_DOUBLE_EQ(p.wide.perMessageCost, p.local.perMessageCost);
+    // The default gateway is effectively unbounded, so the wide path
+    // never throttles below Myrinet speed.
+    EXPECT_GE(p.gateway.bandwidth, 1e12);
+    EXPECT_FALSE(p.impairments.active());
+}
+
+TEST(Profile, WithJitterReplacesOnlyTheJitterAspect)
+{
+    FabricParams base = Profile::das(6.0, 0.5).params();
+    FabricParams p =
+        Profile::das(6.0, 0.5).withJitter(0.3, 77).params();
+    EXPECT_DOUBLE_EQ(p.wanJitter, 0.3);
+    EXPECT_EQ(p.jitterSeed, 77u);
+    EXPECT_DOUBLE_EQ(p.wide.latency, base.wide.latency);
+    EXPECT_DOUBLE_EQ(p.wide.bandwidth, base.wide.bandwidth);
+    EXPECT_FALSE(p.impairments.active());
+}
+
+TEST(Profile, WithTopologyReplacesOnlyTheShape)
+{
+    FabricParams p =
+        Profile::das(6.0, 0.5).withTopology(WanTopology::ring).params();
+    EXPECT_EQ(p.wanTopology, WanTopology::ring);
+    EXPECT_DOUBLE_EQ(p.wide.bandwidth, 6e6);
+}
+
+TEST(Profile, WithImpairmentsAttachesTheFullSet)
+{
+    Impairments imp;
+    imp.lossRate = 0.02;
+    imp.outageStart = 1.0;
+    imp.outageDuration = 0.5;
+    imp.outagePeriod = 4.0;
+    imp.outagePolicy = OutagePolicy::queue;
+    imp.lossSeed = 99;
+    FabricParams p =
+        Profile::das(6.0, 0.5).withImpairments(imp).params();
+    EXPECT_TRUE(p.impairments.active());
+    EXPECT_DOUBLE_EQ(p.impairments.lossRate, 0.02);
+    EXPECT_DOUBLE_EQ(p.impairments.outageStart, 1.0);
+    EXPECT_DOUBLE_EQ(p.impairments.outageDuration, 0.5);
+    EXPECT_DOUBLE_EQ(p.impairments.outagePeriod, 4.0);
+    EXPECT_EQ(p.impairments.outagePolicy, OutagePolicy::queue);
+    EXPECT_EQ(p.impairments.lossSeed, 99u);
+}
+
+TEST(Profile, DerivationsChainWithoutInterfering)
+{
+    Impairments imp;
+    imp.lossRate = 0.01;
+    FabricParams p = Profile::das(2.0, 3.0)
+                         .withJitter(0.25, 5)
+                         .withTopology(WanTopology::star)
+                         .withImpairments(imp)
+                         .params();
+    EXPECT_DOUBLE_EQ(p.wide.bandwidth, 2e6);
+    EXPECT_DOUBLE_EQ(p.wide.latency, 3e-3);
+    EXPECT_DOUBLE_EQ(p.wanJitter, 0.25);
+    EXPECT_EQ(p.wanTopology, WanTopology::star);
+    EXPECT_DOUBLE_EQ(p.impairments.lossRate, 0.01);
+}
+
+TEST(Profile, StaticLinkFactoriesMatchTheComposedPreset)
+{
+    FabricParams p = Profile::das(6.0, 0.5).params();
+    LinkParams local = Profile::myrinetLink();
+    LinkParams wide = Profile::wideAreaLink(6.0, 0.5);
+    LinkParams gw = Profile::gatewayLink();
+    EXPECT_DOUBLE_EQ(p.local.latency, local.latency);
+    EXPECT_DOUBLE_EQ(p.local.bandwidth, local.bandwidth);
+    EXPECT_DOUBLE_EQ(p.wide.latency, wide.latency);
+    EXPECT_DOUBLE_EQ(p.wide.bandwidth, wide.bandwidth);
+    EXPECT_DOUBLE_EQ(p.gateway.bandwidth, gw.bandwidth);
+}
+
+} // namespace
+} // namespace tli::net

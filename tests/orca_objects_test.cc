@@ -27,7 +27,7 @@ struct World
     ObjectRuntime runtime;
 
     World(int clusters, int procs,
-          net::FabricParams p = net::dasParams(6.0, 5.0))
+          net::FabricParams p = net::Profile::das(6.0, 5.0).params())
         : topo(clusters, procs), fabric(sim, topo, p),
           panda(sim, fabric), runtime(panda, 8000)
     {

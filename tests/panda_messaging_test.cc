@@ -27,7 +27,7 @@ struct World
     Panda panda;
 
     World(int clusters, int procs,
-          net::FabricParams p = net::dasParams(6.0, 0.5))
+          net::FabricParams p = net::Profile::das(6.0, 0.5).params())
         : topo(clusters, procs), fabric(sim, topo, p), panda(sim, fabric)
     {
     }

@@ -24,7 +24,7 @@ struct World
 
     World(int clusters, int procs)
         : topo(clusters, procs),
-          fabric(sim, topo, net::dasParams(6.0, 10.0)),
+          fabric(sim, topo, net::Profile::das(6.0, 10.0).params()),
           panda(sim, fabric)
     {
     }

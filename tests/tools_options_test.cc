@@ -16,13 +16,15 @@
 namespace tli::tools {
 namespace {
 
-/** Feed a whole argv-style list; every flag must be recognized. */
+/** Feed a whole argv-style list; every flag must be recognized and
+ *  the accumulated scenario must finalize cleanly. */
 ScenarioOptions
 parseAll(const std::vector<std::string> &args)
 {
     ScenarioOptions opts;
     for (const std::string &arg : args)
         EXPECT_TRUE(opts.parseOne(arg.c_str())) << arg;
+    EXPECT_EQ(opts.finalize(), "");
     return opts;
 }
 
@@ -71,6 +73,33 @@ TEST(ScenarioOptionsParse, LongAliasesMatchShortForms)
     ScenarioOptions b = parseAll(
         {"--wan-bw=1.5", "--wan-lat=3", "--wan-jitter=0.1"});
     EXPECT_TRUE(a.scenario == b.scenario);
+}
+
+TEST(ScenarioOptionsParse, ImpairmentFlags)
+{
+    ScenarioOptions opts = parseAll(
+        {"--wan-loss=0.02", "--wan-outage-start=1.5",
+         "--wan-outage-duration=0.25", "--wan-outage-period=3",
+         "--wan-outage-queue"});
+    EXPECT_EQ(opts.scenario.wanLossRate, 0.02);
+    EXPECT_EQ(opts.scenario.wanOutageStartS, 1.5);
+    EXPECT_EQ(opts.scenario.wanOutageDurationS, 0.25);
+    EXPECT_EQ(opts.scenario.wanOutagePeriodS, 3.0);
+    EXPECT_TRUE(opts.scenario.wanOutageQueue);
+    EXPECT_TRUE(opts.scenario.impaired());
+}
+
+TEST(ScenarioOptionsParse, FinalizeReportsInvalidScenario)
+{
+    ScenarioOptions opts;
+    EXPECT_TRUE(opts.parseOne("--wan-loss=1.5"));
+    std::string err = opts.finalize();
+    EXPECT_NE(err.find("wan-loss"), std::string::npos) << err;
+
+    ScenarioOptions outage;
+    EXPECT_TRUE(outage.parseOne("--wan-outage-duration=5"));
+    EXPECT_TRUE(outage.parseOne("--wan-outage-period=1"));
+    EXPECT_FALSE(outage.finalize().empty());
 }
 
 TEST(ScenarioOptionsParse, ExecFlags)

@@ -20,39 +20,49 @@ ScenarioOptions::parseOne(const char *arg)
     else if (const char *v = flagValue(arg, "--variant="))
         variant = v;
     else if (const char *v = flagValue(arg, "--clusters="))
-        scenario.clusters = std::atoi(v);
+        builder_.clusters(std::atoi(v));
     else if (const char *v = flagValue(arg, "--procs="))
-        scenario.procsPerCluster = std::atoi(v);
+        builder_.procsPerCluster(std::atoi(v));
     else if (const char *v = flagValue(arg, "--wan-bw="))
-        scenario.wanBandwidthMBs = std::atof(v);
+        builder_.wanBandwidth(std::atof(v));
     else if (const char *v = flagValue(arg, "--bw="))
-        scenario.wanBandwidthMBs = std::atof(v);
+        builder_.wanBandwidth(std::atof(v));
     else if (const char *v = flagValue(arg, "--wan-lat="))
-        scenario.wanLatencyMs = std::atof(v);
+        builder_.wanLatency(std::atof(v));
     else if (const char *v = flagValue(arg, "--lat="))
-        scenario.wanLatencyMs = std::atof(v);
+        builder_.wanLatency(std::atof(v));
     else if (const char *v = flagValue(arg, "--wan-jitter="))
-        scenario.wanJitterFraction = std::atof(v);
+        builder_.wanJitter(std::atof(v));
     else if (const char *v = flagValue(arg, "--jitter="))
-        scenario.wanJitterFraction = std::atof(v);
+        builder_.wanJitter(std::atof(v));
+    else if (const char *v = flagValue(arg, "--wan-loss="))
+        builder_.wanLoss(std::atof(v));
+    else if (const char *v = flagValue(arg, "--wan-outage-start="))
+        outageStart_ = std::atof(v);
+    else if (const char *v = flagValue(arg, "--wan-outage-duration="))
+        outageDuration_ = std::atof(v);
+    else if (const char *v = flagValue(arg, "--wan-outage-period="))
+        outagePeriod_ = std::atof(v);
+    else if (std::strcmp(arg, "--wan-outage-queue") == 0)
+        builder_.wanOutageQueue();
     else if (const char *v = flagValue(arg, "--wan-topology=")) {
         if (std::strcmp(v, "fully-connected") == 0 ||
             std::strcmp(v, "full") == 0) {
-            scenario.wanShape = net::WanTopology::fullyConnected;
+            builder_.wanTopology(net::WanTopology::fullyConnected);
         } else if (std::strcmp(v, "star") == 0) {
-            scenario.wanShape = net::WanTopology::star;
+            builder_.wanTopology(net::WanTopology::star);
         } else if (std::strcmp(v, "ring") == 0) {
-            scenario.wanShape = net::WanTopology::ring;
+            builder_.wanTopology(net::WanTopology::ring);
         } else {
             std::fprintf(stderr, "unknown wan topology: %s\n", v);
             return false;
         }
     } else if (const char *v = flagValue(arg, "--scale="))
-        scenario.problemScale = std::atof(v);
+        builder_.problemScale(std::atof(v));
     else if (const char *v = flagValue(arg, "--seed="))
-        scenario.seed = std::strtoull(v, nullptr, 10);
+        builder_.seed(std::strtoull(v, nullptr, 10));
     else if (std::strcmp(arg, "--all-myrinet") == 0)
-        scenario.allMyrinet = true;
+        builder_.allMyrinet();
     else if (const char *v = flagValue(arg, "--trace="))
         tracePath = v;
     else if (const char *v = flagValue(arg, "--json="))
@@ -66,6 +76,16 @@ ScenarioOptions::parseOne(const char *arg)
     else
         return false;
     return true;
+}
+
+std::string
+ScenarioOptions::finalize()
+{
+    builder_.wanOutage(outageStart_, outageDuration_, outagePeriod_);
+    std::string err = builder_.error();
+    if (err.empty())
+        scenario = builder_.build();
+    return err;
 }
 
 ExecSetup
@@ -92,12 +112,20 @@ ScenarioOptions::usage(std::FILE *os)
         "  --variant=NAME         unopt | opt (default opt)\n"
         "  --clusters=N           clusters (default 4)\n"
         "  --procs=N              processors per cluster (default 8)\n"
-        "  --bw=MBPS              wide-area MByte/s (default 6.0;\n"
-        "                         alias --wan-bw=)\n"
-        "  --lat=MS               wide-area one-way ms (default 0.5;\n"
-        "                         alias --wan-lat=)\n"
-        "  --jitter=F             latency variability in [0,1]\n"
-        "                         (alias --wan-jitter=)\n"
+        "  --wan-bw=MBPS          wide-area MByte/s (default 6.0;\n"
+        "                         alias --bw=)\n"
+        "  --wan-lat=MS           wide-area one-way ms (default 0.5;\n"
+        "                         alias --lat=)\n"
+        "  --wan-jitter=F         latency variability in [0,1]\n"
+        "                         (alias --jitter=)\n"
+        "  --wan-loss=F           per-message WAN drop probability\n"
+        "                         in [0,1); enables reliable delivery\n"
+        "  --wan-outage-start=S   first WAN outage begins at S sim-s\n"
+        "  --wan-outage-duration=S  length of each outage window\n"
+        "  --wan-outage-period=S  repeat outages every S sim-s\n"
+        "                         (0 = a single window)\n"
+        "  --wan-outage-queue     queue at the gateway during outages\n"
+        "                         instead of dropping\n"
         "  --wan-topology=SHAPE   fully-connected | star | ring\n"
         "  --scale=F              workload scale (default 1.0)\n"
         "  --seed=N               workload seed (default 42)\n"

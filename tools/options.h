@@ -35,6 +35,7 @@ struct ScenarioOptions
 {
     std::string app = "water";
     std::string variant = "opt";
+    /** The validated scenario; filled by finalize(). */
     core::Scenario scenario;
     /** --trace=FILE: Chrome trace-event JSON destination ("" = off). */
     std::string tracePath;
@@ -55,13 +56,30 @@ struct ScenarioOptions
     }
 
     /**
-     * Try to consume one argv entry.
+     * Try to consume one argv entry. Scenario flags accumulate in a
+     * ScenarioBuilder; nothing is validated until finalize().
      * @return false if the flag is not one of the shared options.
      */
     bool parseOne(const char *arg);
 
+    /**
+     * Validate the accumulated scenario flags and, on success, fill
+     * @c scenario. Call once after the argument loop.
+     * @return "" when the flags describe a runnable scenario, else a
+     *         readable description of the problem for the tool to
+     *         print (and exit non-zero) — no assert, no stack trace.
+     */
+    std::string finalize();
+
     /** Print the help text for the shared options to @p os. */
     static void usage(std::FILE *os);
+
+  private:
+    core::ScenarioBuilder builder_;
+    /** Outage knobs arrive as separate flags; joined in finalize(). */
+    double outageStart_ = 0;
+    double outageDuration_ = 0;
+    double outagePeriod_ = 0;
 };
 
 /**

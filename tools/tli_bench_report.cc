@@ -227,7 +227,7 @@ measurePandaUnicast(int n, int reps, sim::TraceSink *sink = nullptr)
         if (sink)
             sim.setTrace(sink);
         net::Topology topo(4, 8);
-        net::Fabric fabric(sim, topo, net::dasParams(6.0, 0.5));
+        net::Fabric fabric(sim, topo, net::Profile::das(6.0, 0.5).params());
         panda::Panda panda(sim, fabric);
         auto receiver = [&]() -> sim::Task<void> {
             for (int i = 0; i < n; ++i)
@@ -248,7 +248,7 @@ measurePandaBroadcast(int rounds, int reps)
     double best = bestOf(reps, [&] {
         sim::Simulation sim;
         net::Topology topo(4, 8);
-        net::Fabric fabric(sim, topo, net::dasParams(6.0, 0.5));
+        net::Fabric fabric(sim, topo, net::Profile::das(6.0, 0.5).params());
         panda::Panda panda(sim, fabric);
         auto receiver = [&](Rank self) -> sim::Task<void> {
             for (int i = 0; i < rounds; ++i)
@@ -280,15 +280,17 @@ sweepJobs(double scale)
 {
     std::vector<core::ExperimentJob> jobs;
     for (const core::AppVariant &v : apps::bestVariants()) {
-        core::Scenario base;
-        base.problemScale = scale;
+        core::Scenario base =
+            core::ScenarioBuilder().problemScale(scale).build();
         jobs.push_back({v, base.asAllMyrinet(), ""});
         for (double lat : {0.5, 30.0}) {
             for (double bw : {6.3, 0.3}) {
-                core::Scenario s = base;
-                s.wanBandwidthMBs = bw;
-                s.wanLatencyMs = lat;
-                jobs.push_back({v, s, ""});
+                jobs.push_back({v,
+                                base.with()
+                                    .wanBandwidth(bw)
+                                    .wanLatency(lat)
+                                    .build(),
+                                ""});
             }
         }
     }

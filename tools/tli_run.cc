@@ -81,6 +81,11 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (std::string err = opts.finalize(); !err.empty()) {
+        std::fprintf(stderr, "invalid scenario: %s\n", err.c_str());
+        return 2;
+    }
+
     core::AppVariant variant = apps::findVariant(opts.app,
                                                  opts.variant);
     std::printf("running %s on %s\n", variant.fullName().c_str(),

@@ -92,6 +92,11 @@ main(int argc, char **argv)
         }
     }
 
+    if (std::string err = opts.finalize(); !err.empty()) {
+        std::fprintf(stderr, "invalid scenario: %s\n", err.c_str());
+        return 2;
+    }
+
     std::ofstream trace_file;
     std::unique_ptr<sim::ChromeTraceSink> chrome;
     if (!opts.tracePath.empty()) {
