@@ -84,13 +84,15 @@ linkStats(JsonWriter &w, const net::LinkStats &s)
 void
 writeRunReport(std::ostream &os, const std::string &label,
                const Scenario &scenario, const RunResult &result,
-               const ReportSink *trace)
+               const ReportSink *trace, std::int64_t peak_rss_bytes)
 {
     const net::FabricStats &t = result.traffic;
     JsonWriter w(os);
     w.beginObject();
     w.field("schema", "tli-run-report-v1");
     w.field("label", label);
+    if (peak_rss_bytes >= 0)
+        w.field("peak_rss_bytes", peak_rss_bytes);
 
     w.key("scenario").beginObject();
     w.field("description", scenario.describe());

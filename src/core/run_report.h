@@ -118,10 +118,15 @@ class ReportSink : public sim::TraceSink
  * sink's phase/cluster-pair/timeline aggregates.
  *
  * @param label tool-level run label, e.g. "water/clustered".
+ * @param peak_rss_bytes process peak resident set to record, or a
+ *        negative value to omit the field (the default keeps existing
+ *        documents byte-identical). Host-machine measurement, never a
+ *        simulation output — it lives outside the "result" object.
  */
 void writeRunReport(std::ostream &os, const std::string &label,
                     const Scenario &scenario, const RunResult &result,
-                    const ReportSink *trace = nullptr);
+                    const ReportSink *trace = nullptr,
+                    std::int64_t peak_rss_bytes = -1);
 
 } // namespace tli::core
 

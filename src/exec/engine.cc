@@ -8,6 +8,7 @@
 #include <set>
 #include <thread>
 
+#include "exec/rss.h"
 #include "sim/trace.h"
 
 namespace tli::exec {
@@ -163,6 +164,7 @@ Engine::run(const std::vector<core::ExperimentJob> &jobs)
     lastBatch_.cacheHits = hits.load();
     lastBatch_.stored = stored.load();
     lastBatch_.elapsedSeconds = secondsSince(t0);
+    lastBatch_.peakRssBytes = peakRssBytes();
     return results;
 }
 

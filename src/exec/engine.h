@@ -40,6 +40,12 @@ struct BatchStats
     std::uint64_t stored = 0;
     /** Wall-clock seconds for the whole batch. */
     double elapsedSeconds = 0;
+    /**
+     * Process-wide peak resident set after the batch, bytes (0 =
+     * unavailable). Diagnostics only — never part of a RunResult, so
+     * cached and simulated batches stay bit-identical.
+     */
+    std::int64_t peakRssBytes = 0;
 };
 
 /**

@@ -1,0 +1,67 @@
+#include "exec/rss.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace tli::exec {
+
+std::int64_t
+peakRssBytes()
+{
+#if defined(__linux__)
+    // Prefer VmHWM: it is the high-water mark of the *current*
+    // address space, so it resets on exec — a re-exec'd child
+    // measures only itself, where ru_maxrss would carry the parent's
+    // pre-fork watermark across the exec.
+    if (std::FILE *f = std::fopen("/proc/self/status", "r")) {
+        char line[256];
+        long kb = -1;
+        while (std::fgets(line, sizeof(line), f) != nullptr) {
+            if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1)
+                break;
+        }
+        std::fclose(f);
+        if (kb >= 0)
+            return static_cast<std::int64_t>(kb) * 1024;
+    }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return static_cast<std::int64_t>(usage.ru_maxrss); // bytes
+#else
+    return static_cast<std::int64_t>(usage.ru_maxrss) * 1024; // KiB
+#endif
+#else
+    return 0;
+#endif
+}
+
+std::int64_t
+currentRssBytes()
+{
+#if defined(__linux__)
+    std::FILE *f = std::fopen("/proc/self/statm", "r");
+    if (f == nullptr)
+        return 0;
+    long pagesTotal = 0;
+    long pagesResident = 0;
+    const int got = std::fscanf(f, "%ld %ld", &pagesTotal,
+                                &pagesResident);
+    std::fclose(f);
+    if (got != 2)
+        return 0;
+    return static_cast<std::int64_t>(pagesResident) *
+           sysconf(_SC_PAGESIZE);
+#else
+    return 0;
+#endif
+}
+
+} // namespace tli::exec

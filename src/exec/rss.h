@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Process memory accounting for the scaling study and the engine's
+ * batch reports: the peak resident set (the high-water mark the
+ * kernel has charged this process) and the current resident set.
+ * Measurement only — nothing here may feed back into simulation
+ * results, which must stay a pure function of the scenario.
+ */
+
+#ifndef TWOLAYER_EXEC_RSS_H_
+#define TWOLAYER_EXEC_RSS_H_
+
+#include <cstdint>
+
+namespace tli::exec {
+
+/**
+ * Peak resident set size of this process in bytes (getrusage
+ * ru_maxrss), or 0 where unavailable. Monotone over the process
+ * lifetime: measuring a workload in isolation requires a child
+ * process (see runScaleChild in scale_workload.h).
+ */
+std::int64_t peakRssBytes();
+
+/**
+ * Current resident set size in bytes (/proc/self/statm), or 0 where
+ * unavailable.
+ */
+std::int64_t currentRssBytes();
+
+} // namespace tli::exec
+
+#endif // TWOLAYER_EXEC_RSS_H_

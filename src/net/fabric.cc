@@ -30,8 +30,9 @@ Fabric::Fabric(sim::Simulation &sim, const Topology &topo,
     nics_.reserve(ranks);
     for (int i = 0; i < ranks; ++i)
         nics_.emplace_back(params_.local);
-    lastDelivery_.assign(
-        static_cast<std::size_t>(ranks) * ranks, 0);
+    // The ordering table (lastDelivery_) starts empty: construction
+    // cost is O(ranks), not O(ranks^2), and memory grows only with
+    // pairs that actually communicate.
     std::size_t wan_count =
         params_.wanTopology == WanTopology::fullyConnected
             ? static_cast<std::size_t>(clusters) * clusters
@@ -209,7 +210,7 @@ Fabric::multicastToCluster(Rank src, ClusterId dc,
     // first, then record it once per destination.
     arrival += wanLatencyAdjust();
     for (Rank d : dsts)
-        arrival = std::max(arrival, lastDelivery_[orderIndex(src, d)]);
+        arrival = std::max(arrival, lastDelivery_.get(src, d));
 
     intra_.messages += 2;
     intra_.bytes += 2 * bytes;
@@ -231,7 +232,7 @@ Fabric::multicastToCluster(Rank src, ClusterId dc,
     for (Rank d : dsts) {
         TLI_ASSERT(topo_.clusterOf(d) == dc,
                    "multicast destination outside target cluster");
-        lastDelivery_[orderIndex(src, d)] = arrival;
+        lastDelivery_.ref(src, d) = arrival;
         sim_.scheduleAt(arrival, [handler, d] { (*handler)(d); });
     }
 }
@@ -388,7 +389,7 @@ Fabric::wanLatencyAdjust()
 Time
 Fabric::inOrder(Rank src, Rank dst, Time arrival)
 {
-    Time &last = lastDelivery_[orderIndex(src, dst)];
+    Time &last = lastDelivery_.ref(src, dst);
     if (arrival < last)
         arrival = last;
     last = arrival;
@@ -408,6 +409,8 @@ Fabric::stats() const
     s.wanTransit = wanTransit_;
     s.wanLossDrops = lossDrops_;
     s.wanOutageDrops = outageDrops_;
+    s.orderedPairs = lastDelivery_.activePairs();
+    s.orderingBytes = lastDelivery_.memoryBytes();
     s.delivery = delivery_;
 
     s.wanLinks.reserve(wanLinks_.size());

@@ -14,6 +14,7 @@
 
 #include "net/impairments.h"
 #include "net/link.h"
+#include "net/pair_map.h"
 #include "net/topology.h"
 #include "sim/random.h"
 #include "sim/simulation.h"
@@ -148,6 +149,12 @@ struct FabricStats
     std::uint64_t wanLossDrops = 0;
     /** Messages refused because the WAN was inside an outage window. */
     std::uint64_t wanOutageDrops = 0;
+    /** Rank pairs that exchanged at least one wide-area message — the
+     *  population of the sparse ordering table, whose memory is
+     *  O(this) rather than O(ranks^2). */
+    std::uint64_t orderedPairs = 0;
+    /** Bytes held by the sparse ordering table. */
+    std::uint64_t orderingBytes = 0;
     /** Reliable-delivery protocol counters (zero when no reliability
      *  layer runs above this fabric). */
     DeliveryStats delivery;
@@ -268,13 +275,6 @@ class Fabric
         return static_cast<std::size_t>(a) * topo_.clusterCount() + b;
     }
 
-    /** Flat index into lastDelivery_ for the (src, dst) rank pair. */
-    std::size_t
-    orderIndex(Rank src, Rank dst) const
-    {
-        return static_cast<std::size_t>(src) * topo_.totalRanks() + dst;
-    }
-
     /**
      * Walk the wide-area links a (sc -> dc) transfer crosses under the
      * configured topology, in route order, calling
@@ -311,12 +311,14 @@ class Fabric
      *  jitter draws untouched. */
     sim::Random lossRng_;
     /**
-     * Last delivery time per (src, dst) rank pair (TCP ordering),
-     * indexed by orderIndex(). A flat R*R vector: consulted on every
-     * inter-cluster message, so O(1) lookup beats the tree walk of the
-     * std::map it replaced.
+     * Last delivery time per (src, dst) rank pair (TCP ordering).
+     * Sparse: memory is O(pairs that actually communicate), so a
+     * 100k-rank fabric costs nothing until traffic flows — the flat
+     * R*R vector it replaced was 80 GB at that scale. Lookup stays
+     * O(1) (open addressing), absent pairs read as the flat table's
+     * zero-fill.
      */
-    std::vector<Time> lastDelivery_;
+    PairTimeMap lastDelivery_;
 
     /**
      * Carry one message across the wide area from cluster @p sc to

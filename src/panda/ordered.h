@@ -8,8 +8,9 @@
 #define TWOLAYER_PANDA_ORDERED_H_
 
 #include <cstdint>
-#include <map>
+#include <optional>
 #include <utility>
+#include <vector>
 
 #include "panda/panda.h"
 #include "sim/task.h"
@@ -20,6 +21,14 @@ namespace tli::panda {
  * Buffers messages whose payloads are sequence-stamped and releases
  * them in order. The application supplies the sequence number for each
  * raw message via a projection when pushing.
+ *
+ * Storage is a power-of-two ring indexed by `seq & mask`: push and pop
+ * are O(1) with no per-item node allocation, where the std::map this
+ * replaced cost an allocation and a tree rebalance per message — per
+ * broadcast per rank, which at 10k ranks dominated the sequencer's
+ * delivery path. The window grows to the largest out-of-order gap ever
+ * seen and stays there; gaps are bounded by in-flight traffic, not by
+ * rank count.
  */
 template <typename T>
 class OrderedReceiver
@@ -30,36 +39,76 @@ class OrderedReceiver
     push(std::int64_t seq, T value)
     {
         TLI_ASSERT(seq >= next_, "duplicate or stale sequence ", seq);
-        buffer_.emplace(seq, std::move(value));
+        if (ring_.empty() ||
+            seq - next_ >= static_cast<std::int64_t>(ring_.size()))
+            grow(seq);
+        std::optional<T> &slot = ring_[static_cast<std::size_t>(seq) &
+                                       (ring_.size() - 1)];
+        TLI_ASSERT(!slot.has_value(), "duplicate sequence ", seq);
+        slot.emplace(std::move(value));
+        ++buffered_;
     }
 
     /** Is the next in-order item available? */
     bool
     ready() const
     {
-        auto it = buffer_.begin();
-        return it != buffer_.end() && it->first == next_;
+        return buffered_ > 0 &&
+               ring_[static_cast<std::size_t>(next_) &
+                     (ring_.size() - 1)]
+                   .has_value();
     }
 
     /** Pop the next in-order item; ready() must be true. */
     T
     pop()
     {
-        auto it = buffer_.begin();
-        TLI_ASSERT(it != buffer_.end() && it->first == next_,
-                   "pop without ready item");
-        T value = std::move(it->second);
-        buffer_.erase(it);
+        TLI_ASSERT(ready(), "pop without ready item");
+        std::optional<T> &slot = ring_[static_cast<std::size_t>(next_) &
+                                       (ring_.size() - 1)];
+        T value = std::move(*slot);
+        slot.reset();
+        --buffered_;
         ++next_;
         return value;
     }
 
     std::int64_t nextSeq() const { return next_; }
-    std::size_t buffered() const { return buffer_.size(); }
+    std::size_t buffered() const { return buffered_; }
 
   private:
+    /**
+     * Widen the ring so @p seq lands inside [next_, next_ + size).
+     * Buffered items re-home because their slot index is a function of
+     * the mask.
+     */
+    void
+    grow(std::int64_t seq)
+    {
+        std::size_t capacity = ring_.empty() ? minWindow : ring_.size();
+        while (seq - next_ >= static_cast<std::int64_t>(capacity))
+            capacity *= 2;
+        std::vector<std::optional<T>> old = std::move(ring_);
+        ring_.assign(capacity, std::nullopt);
+        const std::size_t mask = capacity - 1;
+        for (std::size_t i = 0; i < old.size(); ++i) {
+            if (!old[i].has_value())
+                continue;
+            // Only seqs in [next_, next_ + old.size()) can be live.
+            std::int64_t s = next_ + static_cast<std::int64_t>(
+                ((static_cast<std::size_t>(i) -
+                  static_cast<std::size_t>(next_)) &
+                 (old.size() - 1)));
+            ring_[static_cast<std::size_t>(s) & mask] =
+                std::move(old[i]);
+        }
+    }
+
+    static constexpr std::size_t minWindow = 16;
+
     std::int64_t next_ = 0;
-    std::map<std::int64_t, T> buffer_;
+    std::size_t buffered_ = 0;
+    std::vector<std::optional<T>> ring_;
 };
 
 } // namespace tli::panda

@@ -31,19 +31,49 @@ Panda::mailbox(Rank rank, int tag)
 }
 
 void
+Panda::injectUnicast(Rank src, Rank dst, int tag,
+                     std::uint64_t wire_bytes, int reply_tag,
+                     std::any payload)
+{
+    if (reliable_) {
+        // Reliable::send requires a copyable completion
+        // (std::function), so the impaired path shares ownership.
+        auto msg = std::make_shared<Message>();
+        msg->src = src;
+        msg->dst = dst;
+        msg->tag = tag;
+        msg->wireBytes = wire_bytes;
+        msg->replyTag = reply_tag;
+        msg->payload = std::move(payload);
+        reliable_->send(src, dst, wire_bytes, [this, msg] {
+            mailbox(msg->dst, msg->tag).send(std::move(*msg));
+        });
+        return;
+    }
+    PooledMessage msg = pool_.acquire();
+    msg->src = src;
+    msg->dst = dst;
+    msg->tag = tag;
+    msg->wireBytes = wire_bytes;
+    msg->replyTag = reply_tag;
+    msg->payload = std::move(payload);
+    auto deliver = [this, msg = std::move(msg)] {
+        mailbox(msg->dst, msg->tag).send(std::move(*msg));
+    };
+    // The whole point of pooling: the closure must stay inside the
+    // event's inline buffer, or every send allocates again.
+    static_assert(sim::EventFn::fitsInline<decltype(deliver)>,
+                  "pooled delivery closure must not allocate");
+    fabric_.send(src, dst, wire_bytes, std::move(deliver));
+}
+
+void
 Panda::send(Rank src, Rank dst, int tag, std::uint64_t payload_bytes,
             std::any payload)
 {
     ++sendCount_;
-    auto msg = std::make_shared<Message>();
-    msg->src = src;
-    msg->dst = dst;
-    msg->tag = tag;
-    msg->wireBytes = payload_bytes + headerBytes;
-    msg->payload = std::move(payload);
-    transport(src, dst, msg->wireBytes, [this, msg] {
-        mailbox(msg->dst, msg->tag).send(std::move(*msg));
-    });
+    injectUnicast(src, dst, tag, payload_bytes + headerBytes, -1,
+                  std::move(payload));
 }
 
 sim::Task<Message>
@@ -52,16 +82,8 @@ Panda::rpc(Rank self, Rank dst, int tag, std::uint64_t payload_bytes,
 {
     const int rtag = nextReplyTag(self);
     ++sendCount_;
-    auto msg = std::make_shared<Message>();
-    msg->src = self;
-    msg->dst = dst;
-    msg->tag = tag;
-    msg->wireBytes = payload_bytes + headerBytes;
-    msg->replyTag = rtag;
-    msg->payload = std::move(payload);
-    transport(self, dst, msg->wireBytes, [this, msg] {
-        mailbox(msg->dst, msg->tag).send(std::move(*msg));
-    });
+    injectUnicast(self, dst, tag, payload_bytes + headerBytes, rtag,
+                  std::move(payload));
 
     Message response = co_await recv(self, rtag);
     // Reply mailboxes are one-shot; reclaim the entry.

@@ -16,6 +16,7 @@
 
 #include "net/fabric.h"
 #include "panda/message.h"
+#include "panda/message_pool.h"
 #include "panda/reliable.h"
 #include "sim/channel.h"
 #include "sim/simulation.h"
@@ -99,20 +100,16 @@ class Panda
   private:
     /**
      * Inject one unicast: through the reliable protocol when the
-     * fabric is impaired, straight into the fabric otherwise. A
-     * template so the unimpaired path hands the callable to the fabric
-     * unconverted (it stays inside EventFn's inline buffer).
+     * fabric is impaired, straight into the fabric otherwise. The
+     * unimpaired path carries the message in a pooled slot whose
+     * two-pointer handle rides inside EventFn's inline buffer — no
+     * allocation per message; the impaired path keeps shared
+     * ownership because Reliable type-erases its completion into a
+     * copyable std::function.
      */
-    template <typename F>
-    void
-    transport(Rank src, Rank dst, std::uint64_t wire_bytes, F &&deliver)
-    {
-        if (reliable_)
-            reliable_->send(src, dst, wire_bytes,
-                            std::forward<F>(deliver));
-        else
-            fabric_.send(src, dst, wire_bytes, std::forward<F>(deliver));
-    }
+    void injectUnicast(Rank src, Rank dst, int tag,
+                       std::uint64_t wire_bytes, int reply_tag,
+                       std::any payload);
 
     int
     nextReplyTag(Rank rank)
@@ -124,6 +121,7 @@ class Panda
 
     sim::Simulation &sim_;
     net::Fabric &fabric_;
+    MessagePool pool_;
     std::unique_ptr<Reliable> reliable_;
     std::vector<std::unordered_map<int,
         std::unique_ptr<sim::Channel<Message>>>> mailboxes_;

@@ -4,18 +4,29 @@
  * vector, ordered by (time, insertion sequence) so same-time events
  * fire in FIFO order.
  *
- * Layout: the heap itself holds trivially-copyable (when, seq, slot)
- * entries, so every sift step is a 24-byte copy the compiler inlines;
- * the type-erased callables live in a side arena addressed by slot and
- * never move while queued (slots are recycled through a free list).
- * Owning the heap directly — instead of wrapping std::priority_queue —
- * lets pop() move the payload out legitimately; the old implementation
+ * Layout: the heap itself holds trivially-copyable 16-byte entries, so
+ * every sift step is a plain register copy the compiler inlines; the
+ * type-erased callables live in a side arena addressed by slot and
+ * never move while queued. Recycled slots are threaded into an
+ * intrusive free list (one index per slot) instead of a separate
+ * free-slot stack, so push/pop touch one array, not two. Owning the
+ * heap directly — instead of wrapping std::priority_queue — lets pop()
+ * move the payload out legitimately; the old implementation
  * const_cast-moved from top(), which is undefined behavior.
+ *
+ * Ordering key: each entry packs (time bits, sequence, slot) into one
+ * unsigned 128-bit word — the IEEE-754 bits of a nonnegative double
+ * order identically to its value, so a single branchless integer
+ * comparison replaces the two-step (when, seq) compare. Simulated time
+ * is nonnegative by construction (Simulation asserts it); -0.0 is
+ * normalized to +0.0 on entry so the one representable equal-but-
+ * different-bits pair cannot misorder.
  */
 
 #ifndef TWOLAYER_SIM_EVENT_QUEUE_H_
 #define TWOLAYER_SIM_EVENT_QUEUE_H_
 
+#include <bit>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -53,18 +64,19 @@ class EventQueue
     push(Time when, F &&action)
     {
         std::uint32_t slot;
-        if (!freeSlots_.empty()) {
-            slot = freeSlots_.back();
-            freeSlots_.pop_back();
+        if (freeHead_ != noSlot) {
+            slot = freeHead_;
+            freeHead_ = nextFree_[slot];
             actions_[slot].emplace(std::forward<F>(action));
         } else {
             slot = static_cast<std::uint32_t>(actions_.size());
             actions_.emplace_back(std::forward<F>(action));
+            nextFree_.push_back(noSlot);
         }
         TLI_ASSERT(slot < (1u << slotBits) && nextSeq_ < maxSeq,
                    "event queue capacity exceeded");
         heap_.push_back(
-            Entry{when, (nextSeq_++ << slotBits) | slot});
+            Entry::make(when, (nextSeq_++ << slotBits) | slot));
         siftUp(heap_.size() - 1);
     }
 
@@ -72,7 +84,7 @@ class EventQueue
     std::size_t size() const { return heap_.size(); }
 
     /** Time of the earliest pending event. Undefined when empty. */
-    Time nextTime() const { return heap_.front().when; }
+    Time nextTime() const { return heap_.front().when(); }
 
     /** Remove and return the earliest pending event. */
     Event
@@ -80,8 +92,9 @@ class EventQueue
     {
         const Entry top = heap_.front();
         const std::uint32_t slot = top.slot();
-        Event out{top.when, top.seq(), std::move(actions_[slot])};
-        freeSlots_.push_back(slot);
+        Event out{top.when(), top.seq(), std::move(actions_[slot])};
+        nextFree_[slot] = freeHead_;
+        freeHead_ = slot;
         const Entry last = heap_.back();
         heap_.pop_back();
         if (!heap_.empty())
@@ -98,7 +111,8 @@ class EventQueue
     {
         heap_.clear();
         actions_.clear();
-        freeSlots_.clear();
+        nextFree_.clear();
+        freeHead_ = noSlot;
     }
 
     /** Pre-size the queue's storage (optional tuning). */
@@ -107,33 +121,56 @@ class EventQueue
     {
         heap_.reserve(n);
         actions_.reserve(n);
-        freeSlots_.reserve(n);
+        nextFree_.reserve(n);
     }
 
   private:
-    /** Low bits of Entry::seqSlot holding the arena slot index. */
+    /** Low bits of the key's low word holding the arena slot index. */
     static constexpr unsigned slotBits = 24;
     /** Sequence numbers use the remaining 40 bits (~10^12 events). */
     static constexpr std::uint64_t maxSeq = 1ull << (64 - slotBits);
+    /** Free-list terminator. */
+    static constexpr std::uint32_t noSlot = 0xffffffffu;
 
     /**
-     * One heap node; deliberately trivially copyable and 16 bytes, so
-     * sift steps are plain register copies and the heap stays dense in
-     * cache. The sequence number and slot share one word (seq in the
-     * high bits): sequence numbers are unique, so ordering the packed
-     * word orders by sequence, and the slot rides along for free.
+     * One heap node: the time's bits in the high 64, (seq << slotBits
+     * | slot) in the low 64. Sequence numbers are unique, so ordering
+     * the packed word orders by (time, seq) and the slot rides along
+     * for free; the whole comparison is one branchless 128-bit
+     * integer compare. Trivially copyable and 16 bytes, so sift steps
+     * stay plain register copies and the heap stays dense in cache.
      */
     struct Entry
     {
-        Time when;
-        std::uint64_t seqSlot;
+        unsigned __int128 key;
 
-        std::uint64_t seq() const { return seqSlot >> slotBits; }
+        static Entry
+        make(Time when, std::uint64_t seqSlot)
+        {
+            // +0.0 collapses -0.0 onto +0.0 and is the identity for
+            // every other value, keeping bit order == value order.
+            return Entry{(static_cast<unsigned __int128>(
+                              std::bit_cast<std::uint64_t>(when + 0.0))
+                          << 64) |
+                         seqSlot};
+        }
+
+        Time
+        when() const
+        {
+            return std::bit_cast<Time>(
+                static_cast<std::uint64_t>(key >> 64));
+        }
+        std::uint64_t
+        seq() const
+        {
+            return static_cast<std::uint64_t>(key) >> slotBits;
+        }
         std::uint32_t
         slot() const
         {
-            return static_cast<std::uint32_t>(
-                seqSlot & ((1u << slotBits) - 1));
+            return static_cast<std::uint32_t>(key) &
+                   ((1u << slotBits) - 1);
         }
     };
 
@@ -143,9 +180,7 @@ class EventQueue
     static bool
     earlier(const Entry &a, const Entry &b)
     {
-        if (a.when != b.when)
-            return a.when < b.when;
-        return a.seqSlot < b.seqSlot;
+        return a.key < b.key;
     }
 
     /**
@@ -206,10 +241,11 @@ class EventQueue
     }
 
     std::vector<Entry> heap_;
-    /** Queued callables, indexed by Entry::slot; stable while queued. */
+    /** Queued callables, indexed by entry slot; stable while queued. */
     std::vector<EventFn> actions_;
-    /** Recyclable indices of fired events' slots. */
-    std::vector<std::uint32_t> freeSlots_;
+    /** Intrusive free list: next free slot after each recycled slot. */
+    std::vector<std::uint32_t> nextFree_;
+    std::uint32_t freeHead_ = noSlot;
     std::uint64_t nextSeq_ = 0;
 };
 

@@ -15,7 +15,6 @@
  * ratio is insensitive to machine load between runs.
  */
 
-#include <sys/resource.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -37,6 +36,8 @@
 #include "core/json.h"
 #include "exec/engine.h"
 #include "exec/result_cache.h"
+#include "exec/rss.h"
+#include "exec/scale_workload.h"
 #include "magpie/communicator.h"
 #include "net/config.h"
 #include "options.h"
@@ -344,13 +345,46 @@ measureSweep(double scale, int reps)
     return t;
 }
 
-long
-peakRssBytes()
+/** One row of the rank-count scaling curve. */
+struct ScaleRow
 {
-    struct rusage ru;
-    if (getrusage(RUSAGE_SELF, &ru) != 0)
-        return -1;
-    return ru.ru_maxrss * 1024L; // Linux reports KiB
+    exec::ScaleResult result;
+    std::int64_t peakRssBytes = 0;
+    bool isolated = false;
+};
+
+/**
+ * The scaling curve: the synthetic exchange at growing rank counts,
+ * each measured in a forked child so its peak RSS is its own. Falls
+ * back to in-process measurement (RSS then reflects the whole
+ * reporter, flagged isolated=false) where fork/exec is unavailable.
+ */
+std::vector<ScaleRow>
+measureScaling(bool full)
+{
+    std::vector<exec::ScaleConfig> sizes{
+        {.clusters = 4, .procsPerCluster = 32},
+        {.clusters = 32, .procsPerCluster = 32},
+        {.clusters = 32, .procsPerCluster = 320},
+    };
+    if (full)
+        sizes.push_back({.clusters = 100, .procsPerCluster = 1024});
+
+    std::vector<ScaleRow> rows;
+    for (const exec::ScaleConfig &config : sizes) {
+        ScaleRow row;
+        exec::ScaleChildResult child = exec::runScaleChild(config);
+        if (child.ok) {
+            row.result = child.result;
+            row.peakRssBytes = child.peakRssBytes;
+            row.isolated = true;
+        } else {
+            row.result = exec::runScaleWorkload(config);
+            row.peakRssBytes = exec::peakRssBytes();
+        }
+        rows.push_back(row);
+    }
+    return rows;
 }
 
 } // namespace
@@ -358,6 +392,10 @@ peakRssBytes()
 int
 main(int argc, char **argv)
 {
+    // Child re-exec entry for the fork-isolated scaling rows.
+    if (std::optional<int> code = exec::scaleChildMain(argc, argv))
+        return *code;
+
     std::string label = "pr1";
     std::string out;
     int reps = 5;
@@ -406,7 +444,17 @@ main(int argc, char **argv)
                  "measuring sweep engine (1/4/8 workers + cache "
                  "replay)...\n");
     SweepTimings sweep = measureSweep(reps <= 2 ? 0.3 : 1.0, reps);
-    long rss = peakRssBytes();
+    std::fprintf(stderr, "measuring scaling curve...\n");
+    std::vector<ScaleRow> scaling = measureScaling(reps > 2);
+    const std::int64_t rss = exec::peakRssBytes();
+
+    // A parallel "speedup" measured with fewer hardware cores than
+    // workers is just contention noise; publish the timings but mark
+    // the speedups not applicable rather than report sub-1.0 figures.
+    const auto hw = static_cast<std::int64_t>(
+        std::thread::hardware_concurrency());
+    const bool speedup4Valid = hw >= 4;
+    const bool speedup8Valid = hw >= 8;
 
     std::ofstream f(out);
     if (!f) {
@@ -416,7 +464,7 @@ main(int argc, char **argv)
     {
         core::JsonWriter w(f);
         w.beginObject();
-        w.field("schema", 2);
+        w.field("schema", 3);
         w.field("label", label);
         w.key("event_queue").beginObject();
         w.field("workload_events", queue_events);
@@ -442,24 +490,42 @@ main(int argc, char **argv)
         w.key("sweep").beginObject();
         w.field("batch_jobs",
                 static_cast<std::int64_t>(sweep.batchJobs));
-        w.field("hardware_concurrency",
-                static_cast<std::int64_t>(
-                    std::thread::hardware_concurrency()));
+        w.field("hardware_concurrency", hw);
         w.field("jobs1_seconds", sweep.serialSeconds);
         w.field("jobs4_seconds", sweep.jobs4Seconds);
         w.field("jobs8_seconds", sweep.jobs8Seconds);
-        w.field("speedup_jobs4",
-                sweep.serialSeconds / sweep.jobs4Seconds);
-        w.field("speedup_jobs8",
-                sweep.serialSeconds / sweep.jobs8Seconds);
+        w.field("speedup_jobs4_applicable", speedup4Valid);
+        if (speedup4Valid)
+            w.field("speedup_jobs4",
+                    sweep.serialSeconds / sweep.jobs4Seconds);
+        w.field("speedup_jobs8_applicable", speedup8Valid);
+        if (speedup8Valid)
+            w.field("speedup_jobs8",
+                    sweep.serialSeconds / sweep.jobs8Seconds);
         w.field("cache_replay_seconds", sweep.replaySeconds);
         w.field("cache_replay_hits",
                 static_cast<std::int64_t>(sweep.replayHits));
         w.field("cache_replay_simulated",
                 static_cast<std::int64_t>(sweep.replaySimulated));
         w.endObject();
-        w.field("peak_rss_bytes",
-                static_cast<std::int64_t>(rss));
+        w.key("scaling").beginArray();
+        for (const ScaleRow &row : scaling) {
+            const exec::ScaleResult &r = row.result;
+            w.beginObject();
+            w.field("ranks", r.ranks);
+            w.field("events", static_cast<std::int64_t>(r.events));
+            w.field("events_per_sec", std::round(r.eventsPerSec()));
+            w.field("peak_rss_bytes", row.peakRssBytes);
+            w.field("rss_isolated", row.isolated);
+            w.field("active_pairs",
+                    static_cast<std::int64_t>(r.activePairs));
+            w.field("ordering_bytes",
+                    static_cast<std::int64_t>(r.orderingBytes));
+            w.field("digest", r.digest);
+            w.endObject();
+        }
+        w.endArray();
+        w.field("peak_rss_bytes", rss);
         w.endObject();
     }
 
@@ -473,20 +539,41 @@ main(int argc, char **argv)
                 uni_traced_mps,
                 100.0 * (1.0 - uni_traced_mps / uni_mps));
     std::printf("panda broadcast:  %11.0f deliveries/s\n", bcast_mps);
+    char speed4[32];
+    char speed8[32];
+    if (speedup4Valid)
+        std::snprintf(speed4, sizeof(speed4), "%.2fx",
+                      sweep.serialSeconds / sweep.jobs4Seconds);
+    else
+        std::snprintf(speed4, sizeof(speed4), "n/a: %lld cores",
+                      static_cast<long long>(hw));
+    if (speedup8Valid)
+        std::snprintf(speed8, sizeof(speed8), "%.2fx",
+                      sweep.serialSeconds / sweep.jobs8Seconds);
+    else
+        std::snprintf(speed8, sizeof(speed8), "n/a: %lld cores",
+                      static_cast<long long>(hw));
     std::printf("sweep (%zu jobs): %8.3fs at 1 worker, %.3fs at 4 "
-                "(%.2fx), %.3fs at 8 (%.2fx)\n",
+                "(%s), %.3fs at 8 (%s)\n",
                 sweep.batchJobs, sweep.serialSeconds,
-                sweep.jobs4Seconds,
-                sweep.serialSeconds / sweep.jobs4Seconds,
-                sweep.jobs8Seconds,
-                sweep.serialSeconds / sweep.jobs8Seconds);
+                sweep.jobs4Seconds, speed4, sweep.jobs8Seconds,
+                speed8);
     std::printf("  cache replay:   %10.3fs (%llu hits, %llu "
                 "simulated)\n",
                 sweep.replaySeconds,
                 static_cast<unsigned long long>(sweep.replayHits),
                 static_cast<unsigned long long>(
                     sweep.replaySimulated));
-    std::printf("peak RSS:         %11ld bytes\n", rss);
+    for (const ScaleRow &row : scaling) {
+        std::printf("scaling %6d ranks: %9.0f events/s, peak RSS "
+                    "%7.1f MiB%s\n",
+                    row.result.ranks, row.result.eventsPerSec(),
+                    static_cast<double>(row.peakRssBytes) /
+                        (1024.0 * 1024.0),
+                    row.isolated ? "" : " (not isolated)");
+    }
+    std::printf("peak RSS:         %11lld bytes\n",
+                static_cast<long long>(rss));
     std::printf("wrote %s\n", out.c_str());
     return 0;
 }
