@@ -5,25 +5,65 @@
  * bisection bandwidth grows with the cluster count; the paper
  * predicts it "will diminish, and disappear in star, ring, or bus
  * topologies". Runs the cluster-structure sweep for FFT (the most
- * bandwidth-bound program) on all three wide-area shapes.
+ * bandwidth-bound program) on all five wide-area shapes, then holds
+ * the machine fixed and charts sensitivity against each shape's
+ * network diameter.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "apps/registry.h"
 #include "bench/bench_util.h"
 #include "core/metrics.h"
+#include "net/wan_shape.h"
 
 using namespace tli;
+
+namespace {
+
+/**
+ * The 2^k clusters of the sweep as a k-dimensional hypercube: the
+ * balanced dims choice ({2}, {2,2}, {2,2,2}) so torus and mesh stay
+ * comparable across the cluster-structure row.
+ */
+std::vector<int>
+hypercubeDims(int clusters)
+{
+    std::vector<int> dims;
+    for (int c = clusters; c > 1; c /= 2)
+        dims.push_back(2);
+    return dims;
+}
+
+net::WanShape
+shapeFor(net::WanShape::Kind kind, int clusters)
+{
+    if (kind == net::WanShape::Kind::torus ||
+        kind == net::WanShape::Kind::mesh) {
+        return net::WanShape(kind, hypercubeDims(clusters));
+    }
+    return net::WanShape(kind);
+}
+
+constexpr net::WanShape::Kind kKinds[] = {
+    net::WanShape::Kind::fullyConnected,
+    net::WanShape::Kind::star,
+    net::WanShape::Kind::ring,
+    net::WanShape::Kind::mesh,
+    net::WanShape::Kind::torus,
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     bench::Options opt = bench::Options::parse(argc, argv);
     bench::banner("WAN topology: cluster structure effect on "
-                  "fully-connected / star / ring (FFT & Barnes, "
-                  "6 MB/s, 0.5 ms)",
+                  "fully-connected / star / ring / mesh / torus "
+                  "(FFT & Barnes, 6 MB/s, 0.5 ms)",
                   "Plaat et al., HPCA'99, Section 5.1 (topologies)");
 
     struct Shape
@@ -38,19 +78,19 @@ main(int argc, char **argv)
             app, std::string(app) == "fft" ? "unopt" : "opt");
         std::printf("%s (fraction of all-Myrinet speedup):\n", app);
         core::TextTable table({"topology", "2x16", "4x8", "8x4"});
-        for (auto t : {net::WanTopology::fullyConnected,
-                       net::WanTopology::star,
-                       net::WanTopology::ring}) {
-            std::vector<std::string> row{net::wanTopologyName(t)};
+        for (net::WanShape::Kind kind : kKinds) {
+            std::vector<std::string> row{
+                net::wanShapeKindName(kind)};
             for (const Shape &sh : shapes) {
-                core::Scenario s = opt.baseScenario()
-                                       .with()
-                                       .clusters(sh.clusters)
-                                       .procsPerCluster(sh.procs)
-                                       .wanBandwidth(6.0)
-                                       .wanLatency(0.5)
-                                       .wanTopology(t)
-                                       .build();
+                core::Scenario s =
+                    opt.baseScenario()
+                        .with()
+                        .clusters(sh.clusters)
+                        .procsPerCluster(sh.procs)
+                        .wanBandwidth(6.0)
+                        .wanLatency(0.5)
+                        .wanTopology(shapeFor(kind, sh.clusters))
+                        .build();
                 core::Scenario my = s.asAllMyrinet();
                 double t_single = v.run(my).runTime;
                 core::RunResult r = v.run(s);
@@ -68,11 +108,62 @@ main(int argc, char **argv)
         table.print(std::cout);
         std::printf("\n");
     }
+
+    // Same machine, five shapes: does sensitivity track the number of
+    // wide-area hops a message pays? Diameter is the shape's worst
+    // case (WanShape::diameter); the gap column is the slowdown each
+    // shape adds over the fully connected wide area.
+    std::printf("topology sensitivity vs network diameter "
+                "(fft unopt, 8x4):\n");
+    {
+        auto v = apps::findVariant("fft", "unopt");
+        const int clusters = 8;
+        core::TextTable table(
+            {"topology", "diameter", "% of all-Myrinet",
+             "slowdown vs full"});
+        double full_time = 0;
+        for (net::WanShape::Kind kind : kKinds) {
+            net::WanShape shape = shapeFor(kind, clusters);
+            core::Scenario s = opt.baseScenario()
+                                   .with()
+                                   .clusters(clusters)
+                                   .procsPerCluster(4)
+                                   .wanBandwidth(6.0)
+                                   .wanLatency(0.5)
+                                   .wanTopology(shape)
+                                   .build();
+            double t_single = v.run(s.asAllMyrinet()).runTime;
+            core::RunResult r = v.run(s);
+            if (!r.verified) {
+                table.addRow({shape.spec(), "-", "FAILED", "-"});
+                continue;
+            }
+            if (kind == net::WanShape::Kind::fullyConnected)
+                full_time = r.runTime;
+            table.addRow(
+                {shape.spec(),
+                 std::to_string(shape.diameter(clusters)),
+                 core::TextTable::num(100 * t_single / r.runTime, 1) +
+                     "%",
+                 full_time > 0
+                     ? core::TextTable::num(r.runTime / full_time, 2) +
+                           "x"
+                     : "-"});
+        }
+        table.print(std::cout);
+        std::printf("\n");
+    }
+
     std::printf("reading: on the fully connected wide area, "
                 "bandwidth-bound programs improve\nwith more, smaller "
                 "clusters (aggregate wide-area bandwidth grows); on a "
                 "star\nor ring the shared links cap the bisection and "
                 "the effect disappears or\nreverses, as the paper "
-                "predicted.\n");
+                "predicted. The torus recovers part of the fully\n"
+                "connected machine's aggregate bandwidth (2n links "
+                "per cluster) and the\nmesh sits between torus and "
+                "ring; the slowdown column grows with the\nshape's "
+                "diameter, i.e. with the wide-area hops a message "
+                "pays.\n");
     return 0;
 }

@@ -102,7 +102,13 @@ writeRunReport(std::ostream &os, const std::string &label,
     w.field("wan_latency_ms", scenario.wanLatencyMs);
     w.field("all_myrinet", scenario.allMyrinet);
     w.field("wan_jitter", scenario.wanJitterFraction);
-    w.field("wan_topology", net::wanTopologyName(scenario.wanShape));
+    w.field("wan_topology", scenario.wanShape.name());
+    // Dims only exist for torus/mesh; omitting them elsewhere keeps
+    // dimensionless reports byte-identical to the pre-torus schema.
+    if (!scenario.wanShape.dims().empty()) {
+        w.field("wan_dims",
+                net::wanDimsSpec(scenario.wanShape.dims()));
+    }
     w.field("wan_loss", scenario.wanLossRate);
     w.field("wan_outage_start", scenario.wanOutageStartS);
     w.field("wan_outage_duration", scenario.wanOutageDurationS);

@@ -47,7 +47,12 @@ Scenario::fingerprint() const
     s += ";all_myrinet=" + std::to_string(allMyrinet ? 1 : 0);
     s += ";wan_jitter=" + canonicalDouble(wanJitterFraction);
     s += ";wan_shape=";
-    s += net::wanTopologyName(wanShape);
+    s += wanShape.name();
+    // Dims joined the scenario with the torus/mesh shapes; append
+    // them only when present, so every dimensionless fingerprint
+    // (the pinned golden, existing result-cache keys) is unchanged.
+    if (!wanShape.dims().empty())
+        s += ";wan_dims=" + net::wanDimsSpec(wanShape.dims());
     s += ";scale=" + canonicalDouble(problemScale);
     s += ";seed=" + std::to_string(seed);
     // Impairment knobs joined the scenario later; append them only
@@ -101,6 +106,10 @@ Scenario::validate() const
     } else if (!(wanJitterFraction >= 0 && wanJitterFraction <= 1)) {
         os << "wan-jitter must be in [0, 1], got "
            << wanJitterFraction;
+    } else if (std::string shape_err =
+                   wanShape.validateFor(clusters);
+               !shape_err.empty()) {
+        os << shape_err;
     } else if (!(wanLossRate >= 0 && wanLossRate < 1)) {
         os << "wan-loss must be in [0, 1), got " << wanLossRate;
     } else if (!(wanOutageStartS >= 0)) {
@@ -171,6 +180,8 @@ Scenario::describe() const
         os << " wan=" << wanBandwidthMBs << "MB/s," << wanLatencyMs
            << "ms";
     }
+    if (!allMyrinet && wanShape.dimensional())
+        os << " wan-shape=" << wanShape.spec();
     if (!allMyrinet && wanLossRate > 0)
         os << " loss=" << wanLossRate;
     if (!allMyrinet && wanOutageDurationS > 0)

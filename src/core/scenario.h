@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/config.h"
@@ -50,9 +51,11 @@ struct Scenario
 
     /**
      * Shape of the wide-area network (§5.1: star and ring are the
-     * "worst case" against the DAS's fully connected "best case").
+     * "worst case" against the DAS's fully connected "best case";
+     * torus/mesh carry their per-dimension extents, whose product
+     * must equal @c clusters — validate() enforces it).
      */
-    net::WanTopology wanShape = net::WanTopology::fullyConnected;
+    net::WanShape wanShape;
 
     /**
      * Per-message wide-area drop probability in [0, 1). Non-zero loss
@@ -223,10 +226,20 @@ class ScenarioBuilder
         s_.wanJitterFraction = fraction;
         return *this;
     }
+    /** Wide-area shape; replaces any previously set dims. */
     ScenarioBuilder &
-    wanTopology(net::WanTopology shape)
+    wanTopology(net::WanShape shape)
     {
-        s_.wanShape = shape;
+        s_.wanShape = std::move(shape);
+        return *this;
+    }
+    /** Per-dimension extents for a torus/mesh wide area; keeps the
+     *  current kind. Validated (product = clusters) by build(). */
+    ScenarioBuilder &
+    wanDims(std::vector<int> dims)
+    {
+        s_.wanShape =
+            net::WanShape(s_.wanShape.kind(), std::move(dims));
         return *this;
     }
     /** Per-message wide-area drop probability in [0, 1). */

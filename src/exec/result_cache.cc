@@ -69,28 +69,22 @@ readLinkStatsArray(const core::JsonValue &parent, std::string_view key)
 }
 
 /**
- * Map a stored link-kind name back to the fabric's static literal —
- * WanLinkEntry::kind is a non-owning const char*, so a loaded entry
- * must point at storage with program lifetime.
+ * Rebuild a stored WAN shape from its canonical kind name plus the
+ * optional wan_dims field (absent for dimensionless shapes and in
+ * every pre-torus entry). Unknown names read as the fully connected
+ * default, matching the schema's tolerant-read policy.
  */
-const char *
-canonicalKind(const std::string &name)
+net::WanShape
+shapeFromEntry(const core::JsonValue &parent)
 {
-    for (const char *k : {"pair", "up", "down", "cw", "ccw"}) {
-        if (name == k)
-            return k;
+    net::WanShape shape =
+        net::parseWanShape(parent.at("wan_topology").asString())
+            .value_or(net::WanShape());
+    if (const core::JsonValue *d = parent.find("wan_dims")) {
+        if (auto dims = net::parseWanDims(d->asString()))
+            shape = net::WanShape(shape.kind(), std::move(*dims));
     }
-    return "";
-}
-
-net::WanTopology
-topologyFromName(const std::string &name)
-{
-    if (name == "star")
-        return net::WanTopology::star;
-    if (name == "ring")
-        return net::WanTopology::ring;
-    return net::WanTopology::fullyConnected;
+    return shape;
 }
 
 } // namespace
@@ -154,8 +148,7 @@ ResultCache::load(const std::string &fingerprint) const
 
     const core::JsonValue &t = doc->at("traffic");
     net::FabricStats &stats = r.traffic;
-    stats.wanTopology =
-        topologyFromName(t.at("wan_topology").asString());
+    stats.wanShape = shapeFromEntry(t);
     stats.clusters = static_cast<int>(t.at("clusters").asInt());
     stats.intra = readLinkStats(t.at("intra"));
     stats.inter = readLinkStats(t.at("inter"));
@@ -186,7 +179,8 @@ ResultCache::load(const std::string &fingerprint) const
         std::int64_t b = links[i].at("b").asInt();
         e.a = a < 0 ? invalidCluster : static_cast<ClusterId>(a);
         e.b = b < 0 ? invalidCluster : static_cast<ClusterId>(b);
-        e.kind = canonicalKind(links[i].at("kind").asString());
+        e.kind =
+            net::canonicalWanLinkKind(links[i].at("kind").asString());
         e.stats = readLinkStats(links[i].at("stats"));
         stats.wanLinks.push_back(e);
     }
@@ -227,7 +221,9 @@ ResultCache::store(const std::string &fingerprint,
         w.field("wan_latency_ms", s.wanLatencyMs);
         w.field("all_myrinet", s.allMyrinet);
         w.field("wan_jitter", s.wanJitterFraction);
-        w.field("wan_topology", net::wanTopologyName(s.wanShape));
+        w.field("wan_topology", s.wanShape.name());
+        if (!s.wanShape.dims().empty())
+            w.field("wan_dims", net::wanDimsSpec(s.wanShape.dims()));
         w.field("wan_loss", s.wanLossRate);
         w.field("wan_outage_start", s.wanOutageStartS);
         w.field("wan_outage_duration", s.wanOutageDurationS);
@@ -249,7 +245,11 @@ ResultCache::store(const std::string &fingerprint,
 
         const net::FabricStats &t = result.traffic;
         w.key("traffic").beginObject();
-        w.field("wan_topology", net::wanTopologyName(t.wanTopology));
+        w.field("wan_topology", t.wanShape.name());
+        if (!t.wanShape.dims().empty()) {
+            w.field("wan_dims",
+                    net::wanDimsSpec(t.wanShape.dims()));
+        }
         w.field("clusters", t.clusters);
         w.key("intra");
         writeLinkStats(w, t.intra);

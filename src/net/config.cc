@@ -69,10 +69,10 @@ Profile::withJitter(double fraction, std::uint64_t seed) const
 }
 
 Profile
-Profile::withTopology(WanTopology shape) const
+Profile::withTopology(const WanShape &shape) const
 {
     FabricParams p = params_;
-    p.wanTopology = shape;
+    p.wanShape = shape;
     return Profile(p);
 }
 

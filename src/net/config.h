@@ -27,7 +27,7 @@ constexpr Time wideAreaPerMessageCost = 0.20e-3;
  * impaired star-topology DAS reads as one expression:
  *
  *   Profile::das(6.0, 0.5)
- *       .withTopology(WanTopology::star)
+ *       .withTopology(WanShape::star())
  *       .withImpairments({.lossRate = 0.01})
  *       .params()
  */
@@ -60,7 +60,7 @@ class Profile
     Profile withJitter(double fraction, std::uint64_t seed) const;
 
     /** This profile with the given wide-area shape. */
-    Profile withTopology(WanTopology shape) const;
+    Profile withTopology(const WanShape &shape) const;
 
     /** The fabric parameters this profile describes. */
     const FabricParams &params() const { return params_; }

@@ -27,24 +27,20 @@ Fabric::Fabric(sim::Simulation &sim, const Topology &topo,
                "outage period must exceed the outage duration");
     const int ranks = topo_.totalRanks();
     const int clusters = topo_.clusterCount();
+    TLI_ASSERT(params_.wanShape.validateFor(clusters).empty(),
+               "invalid wan shape: ",
+               params_.wanShape.validateFor(clusters));
     nics_.reserve(ranks);
     for (int i = 0; i < ranks; ++i)
         nics_.emplace_back(params_.local);
     // The ordering table (lastDelivery_) starts empty: construction
     // cost is O(ranks), not O(ranks^2), and memory grows only with
     // pairs that actually communicate.
-    std::size_t wan_count =
-        params_.wanTopology == WanTopology::fullyConnected
-            ? static_cast<std::size_t>(clusters) * clusters
-            : 2 * static_cast<std::size_t>(clusters);
+    const std::size_t wan_count =
+        params_.wanShape.linkCount(clusters);
     wanLinks_.reserve(wan_count);
-    LinkParams wan_link = params_.wide;
-    if (params_.wanTopology == WanTopology::star) {
-        // Two serializing segments per transfer; split the one-way
-        // latency and per-message cost between them.
-        wan_link.latency /= 2;
-        wan_link.perMessageCost /= 2;
-    }
+    const LinkParams wan_link =
+        params_.wanShape.segmentParams(params_.wide);
     for (std::size_t i = 0; i < wan_count; ++i)
         wanLinks_.emplace_back(wan_link);
     gatewayOut_.reserve(clusters);
@@ -237,59 +233,16 @@ Fabric::multicastToCluster(Rank src, ClusterId dc,
     }
 }
 
-const char *
-wanTopologyName(WanTopology t)
-{
-    switch (t) {
-      case WanTopology::fullyConnected:
-        return "fully-connected";
-      case WanTopology::star:
-        return "star";
-      case WanTopology::ring:
-        return "ring";
-    }
-    return "?";
-}
-
 template <typename HopFn>
 Time
 Fabric::routeWan(ClusterId sc, ClusterId dc, Time at,
                  std::uint64_t bytes, HopFn &&hop) const
 {
-    const int clusters = topo_.clusterCount();
-    switch (params_.wanTopology) {
-      case WanTopology::fullyConnected:
-        return hop(wanPairIndex(sc, dc), at, bytes);
-
-      case WanTopology::star: {
-        // Up through the source cluster's access link [sc], down
-        // through the destination's [clusters + dc].
-        Time mid = hop(static_cast<std::size_t>(sc), at, bytes);
-        return hop(static_cast<std::size_t>(clusters) + dc, mid, bytes);
-      }
-
-      case WanTopology::ring: {
-        // Take the shorter arc, store-and-forward per hop: clockwise
-        // hop links are [c], counterclockwise ones [clusters + c].
-        int cw = (dc - sc + clusters) % clusters;
-        int ccw = (sc - dc + clusters) % clusters;
-        Time t = at;
-        if (cw <= ccw) {
-            for (ClusterId c = sc; c != dc;
-                 c = (c + 1) % clusters) {
-                t = hop(static_cast<std::size_t>(c), t, bytes);
-            }
-        } else {
-            for (ClusterId c = sc; c != dc;
-                 c = (c + clusters - 1) % clusters) {
-                t = hop(static_cast<std::size_t>(clusters) + c, t,
-                        bytes);
-            }
-        }
-        return t;
-      }
-    }
-    TLI_PANIC("unreachable wan topology");
+    Time t = at;
+    params_.wanShape.forEachHop(
+        topo_.clusterCount(), sc, dc,
+        [&](std::size_t link) { t = hop(link, t, bytes); });
+    return t;
 }
 
 Time
@@ -312,34 +265,10 @@ Fabric::probeWanTransit(ClusterId sc, ClusterId dc, Time at,
                     });
 }
 
-std::size_t
-firstWanHopIndex(WanTopology topology, int clusters, ClusterId a,
-                 ClusterId b)
-{
-    TLI_ASSERT(a >= 0 && a < clusters && b >= 0 && b < clusters,
-               "wanLink cluster out of range: ", a, ", ", b);
-    TLI_ASSERT(a != b, "wanLink needs distinct clusters, got ", a);
-    switch (topology) {
-      case WanTopology::fullyConnected:
-        return static_cast<std::size_t>(a) * clusters + b;
-      case WanTopology::star:
-        // The up-link of the source cluster.
-        return static_cast<std::size_t>(a);
-      case WanTopology::ring: {
-        int cw = (b - a + clusters) % clusters;
-        int ccw = (a - b + clusters) % clusters;
-        return cw <= ccw ? static_cast<std::size_t>(a)
-                         : static_cast<std::size_t>(clusters) + a;
-      }
-    }
-    TLI_PANIC("unreachable wan topology");
-}
-
 const LinkStats &
 FabricStats::wanLink(ClusterId a, ClusterId b) const
 {
-    return wanLinks[firstWanHopIndex(wanTopology, clusters, a, b)]
-        .stats;
+    return wanLinks[wanShape.firstHopIndex(clusters, a, b)].stats;
 }
 
 double
@@ -401,7 +330,7 @@ Fabric::stats() const
 {
     const int clusters = topo_.clusterCount();
     FabricStats s;
-    s.wanTopology = params_.wanTopology;
+    s.wanShape = params_.wanShape;
     s.clusters = clusters;
     s.intra = intra_;
     s.inter = inter_;
@@ -414,23 +343,14 @@ Fabric::stats() const
     s.delivery = delivery_;
 
     s.wanLinks.reserve(wanLinks_.size());
-    const bool full =
-        params_.wanTopology == WanTopology::fullyConnected;
-    const bool star = params_.wanTopology == WanTopology::star;
     for (std::size_t i = 0; i < wanLinks_.size(); ++i) {
+        const WanShape::LinkRole role =
+            params_.wanShape.linkRole(clusters, i);
         WanLinkEntry e;
+        e.a = role.a;
+        e.b = role.b;
+        e.kind = role.kind;
         e.stats = wanLinks_[i].stats();
-        if (full) {
-            e.a = static_cast<ClusterId>(i) / clusters;
-            e.b = static_cast<ClusterId>(i) % clusters;
-            e.kind = "pair";
-        } else {
-            const bool second = i >= static_cast<std::size_t>(clusters);
-            e.a = static_cast<ClusterId>(
-                i % static_cast<std::size_t>(clusters));
-            e.kind = star ? (second ? "down" : "up")
-                          : (second ? "ccw" : "cw");
-        }
         s.wanLinks.push_back(e);
     }
 

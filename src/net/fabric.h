@@ -16,29 +16,12 @@
 #include "net/link.h"
 #include "net/pair_map.h"
 #include "net/topology.h"
+#include "net/wan_shape.h"
 #include "sim/random.h"
 #include "sim/simulation.h"
 #include "sim/types.h"
 
 namespace tli::net {
-
-/**
- * Shape of the wide-area network connecting the cluster gateways.
- * The paper's DAS is fully connected; §5.1 predicts its
- * bisection-bandwidth effect "will diminish, and disappear in star,
- * ring, or bus topologies" — these variants let that be measured.
- */
-enum class WanTopology
-{
-    /** A dedicated link per ordered cluster pair (the DAS). */
-    fullyConnected,
-    /** One up/down link per cluster through a central switch. */
-    star,
-    /** Unidirectional links around a cycle; shorter arc is taken. */
-    ring,
-};
-
-const char *wanTopologyName(WanTopology t);
 
 /** Timing parameters for both layers of the interconnect. */
 struct FabricParams
@@ -56,8 +39,8 @@ struct FabricParams
      */
     LinkParams gateway{0.0, 1e12, 0.0};
 
-    /** Wide-area shape; see WanTopology. */
-    WanTopology wanTopology = WanTopology::fullyConnected;
+    /** Wide-area shape; see net::WanShape. */
+    WanShape wanShape;
 
     /**
      * Wide-area latency variability (the paper's §1 future-work item:
@@ -101,10 +84,12 @@ struct DeliveryStats
 
 /**
  * One physical wide-area link's usage, labeled with its place in the
- * configured WAN shape: a dedicated ("pair") link of the fully
- * connected mesh, a star access link ("up"/"down"), or a ring hop
- * ("cw"/"ccw"). @c b is the far cluster for pair links and
- * invalidCluster for the single-ended star/ring links.
+ * configured WAN shape (WanShape::linkRole): a dedicated ("pair")
+ * link of the fully connected mesh, a star access link ("up"/"down"),
+ * a ring hop ("cw"/"ccw"), or a torus/mesh per-dimension hop
+ * ("dim<k>+"/"dim<k>-"). @c b is the far cluster for pair and
+ * torus/mesh hop links, invalidCluster for the single-ended star/ring
+ * links and unused mesh wraparound edges.
  */
 struct WanLinkEntry
 {
@@ -122,7 +107,7 @@ struct WanLinkEntry
  */
 struct FabricStats
 {
-    WanTopology wanTopology = WanTopology::fullyConnected;
+    WanShape wanShape;
     int clusters = 0;
 
     /** Local-layer aggregate (NIC + gateway-local hops). */
@@ -141,8 +126,9 @@ struct FabricStats
     /**
      * Every wide-area link, indexed as the fabric allocates them
      * (fully connected: [a*C + b] incl. unused diagonals; star/ring:
-     * up/cw [0, C) then down/ccw [C, 2C)). Use wanLink() for
-     * route-aware lookup.
+     * up/cw [0, C) then down/ccw [C, 2C); torus/mesh: the dim-k
+     * +/- links of cluster c at [(2k)*C + c] / [(2k+1)*C + c]). Use
+     * wanLink() for route-aware lookup.
      */
     std::vector<WanLinkEntry> wanLinks;
     /** Messages lost to random wide-area drops (Impairments::lossRate). */
@@ -166,28 +152,22 @@ struct FabricStats
 
     /**
      * Usage of the wide-area link a transfer from cluster @p a to
-     * cluster @p b serializes on first. Topology-aware: fully
-     * connected reports the dedicated (a, b) link, star the up-link
-     * of @p a, ring the first hop of the shorter arc. Asserts that
-     * @p a and @p b are distinct, valid clusters.
+     * cluster @p b serializes on first. Shape-aware through
+     * WanShape::firstHopIndex: fully connected reports the dedicated
+     * (a, b) link, star the up-link of @p a, ring the first hop of
+     * the shorter arc, torus/mesh the first dimension-ordered hop.
+     * Asserts that @p a and @p b are distinct, valid clusters.
      */
     const LinkStats &wanLink(ClusterId a, ClusterId b) const;
 
     /**
      * Occupancy of the busiest wide-area link as a fraction of
-     * @p elapsed seconds — 1.0 means some cluster pair's link was
-     * saturated for the whole interval.
+     * @p elapsed seconds — 1.0 means some link of the configured
+     * shape was saturated for the whole interval. Shape-agnostic: it
+     * scans every link the shape enumerates.
      */
     double maxWanUtilization(Time elapsed) const;
 };
-
-/**
- * Index of the first wide-area link a (a -> b) transfer crosses under
- * @p topology with @p clusters clusters. Shared by the fabric's
- * routing and FabricStats::wanLink so the two can never diverge.
- */
-std::size_t firstWanHopIndex(WanTopology topology, int clusters,
-                             ClusterId a, ClusterId b);
 
 /**
  * The routed two-layer fabric.
@@ -265,21 +245,10 @@ class Fabric
 
   private:
     /**
-     * Index of the dedicated (a, b) link on the fully connected WAN.
-     * Only valid for WanTopology::fullyConnected — star and ring
-     * allocate 2*C links addressed by routeWan()'s hop indices.
-     */
-    std::size_t
-    wanPairIndex(ClusterId a, ClusterId b) const
-    {
-        return static_cast<std::size_t>(a) * topo_.clusterCount() + b;
-    }
-
-    /**
-     * Walk the wide-area links a (sc -> dc) transfer crosses under the
-     * configured topology, in route order, calling
-     * `hop(linkIndex, at, bytes) -> Time` per segment with the
-     * previous segment's delivery time. Shared by the mutating
+     * Walk the wide-area links a (sc -> dc) transfer crosses under
+     * the configured shape (WanShape::forEachHop), in route order,
+     * calling `hop(linkIndex, at, bytes) -> Time` per segment with
+     * the previous segment's delivery time. Shared by the mutating
      * wanTransit() and the const probe/stats paths, so routing can
      * never diverge between them.
      */
@@ -336,9 +305,10 @@ class Fabric
     /** One outbound NIC link per rank (local layer). */
     std::vector<Link> nics_;
     /**
-     * Wide-area links. Fully connected: directed links indexed
-     * [src*C + dst]. Star: up links [0, C) and down links [C, 2C).
-     * Ring: clockwise hop links [0, C) and counterclockwise [C, 2C).
+     * Wide-area links, laid out as the configured WanShape
+     * enumerates them (linkCount/linkRole): fully connected directed
+     * pairs [src*C + dst]; star up [0, C) / down [C, 2C); ring cw
+     * [0, C) / ccw [C, 2C); torus/mesh per-dimension directed hops.
      */
     std::vector<Link> wanLinks_;
     /** Per-cluster gateway protocol processing, outbound direction. */

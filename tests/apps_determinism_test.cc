@@ -23,7 +23,7 @@ namespace tli::apps {
 namespace {
 
 core::Scenario
-testScenario(double jitter, net::WanTopology shape)
+testScenario(double jitter, const net::WanShape &shape)
 {
     core::Scenario s;
     s.clusters = 4;
@@ -63,7 +63,7 @@ expectBitIdentical(const core::RunResult &a, const core::RunResult &b)
 
 /** (app, variant, jitter, shape). */
 using Case =
-    std::tuple<std::string, std::string, double, net::WanTopology>;
+    std::tuple<std::string, std::string, double, net::WanShape>;
 
 class RepeatedRun : public ::testing::TestWithParam<Case>
 {
@@ -84,12 +84,14 @@ std::vector<Case>
 allCases()
 {
     return {
-        {"water", "opt", 0.0, net::WanTopology::fullyConnected},
-        {"water", "opt", 0.3, net::WanTopology::fullyConnected},
-        {"water", "unopt", 0.3, net::WanTopology::ring},
-        {"tsp", "opt", 0.0, net::WanTopology::fullyConnected},
-        {"tsp", "opt", 0.3, net::WanTopology::fullyConnected},
-        {"tsp", "unopt", 0.3, net::WanTopology::star},
+        {"water", "opt", 0.0, net::WanShape::fullyConnected()},
+        {"water", "opt", 0.3, net::WanShape::fullyConnected()},
+        {"water", "unopt", 0.3, net::WanShape::ring()},
+        {"water", "opt", 0.3, net::WanShape::torus({2, 2})},
+        {"tsp", "opt", 0.0, net::WanShape::fullyConnected()},
+        {"tsp", "opt", 0.3, net::WanShape::fullyConnected()},
+        {"tsp", "unopt", 0.3, net::WanShape::star()},
+        {"tsp", "unopt", 0.3, net::WanShape::mesh({2, 2})},
     };
 }
 
@@ -100,9 +102,10 @@ caseName(const ::testing::TestParamInfo<Case> &info)
     std::string name = app + "_" + variant;
     name += jitter > 0 ? "_jitter" : "_nojitter";
     name += "_";
-    name += shape == net::WanTopology::fullyConnected ? "full"
-            : shape == net::WanTopology::star         ? "star"
-                                                      : "ring";
+    if (shape.kind() == net::WanShape::Kind::fullyConnected)
+        name += "full";
+    else
+        name += shape.name();
     return name;
 }
 

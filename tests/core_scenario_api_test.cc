@@ -20,7 +20,7 @@ TEST(ScenarioBuilder, BuildsFromDefaults)
                      .wanBandwidth(0.95)
                      .wanLatency(12.5)
                      .wanJitter(0.25)
-                     .wanTopology(net::WanTopology::ring)
+                     .wanTopology(net::WanShape::ring())
                      .problemScale(0.5)
                      .seed(7)
                      .build();
@@ -29,7 +29,7 @@ TEST(ScenarioBuilder, BuildsFromDefaults)
     EXPECT_DOUBLE_EQ(s.wanBandwidthMBs, 0.95);
     EXPECT_DOUBLE_EQ(s.wanLatencyMs, 12.5);
     EXPECT_DOUBLE_EQ(s.wanJitterFraction, 0.25);
-    EXPECT_EQ(s.wanShape, net::WanTopology::ring);
+    EXPECT_EQ(s.wanShape, net::WanShape::ring());
     EXPECT_DOUBLE_EQ(s.problemScale, 0.5);
     EXPECT_EQ(s.seed, 7u);
     EXPECT_FALSE(s.impaired());
@@ -96,6 +96,68 @@ TEST(ScenarioValidate, RejectsEachBadKnob)
         s.wanOutagePeriodS = 1;
     }));
     EXPECT_TRUE(fails([](Scenario &s) { s.problemScale = 0; }));
+}
+
+TEST(ScenarioValidate, RejectsInconsistentWanShapes)
+{
+    // Dims whose product misses the cluster count.
+    Scenario s = Scenario{};
+    s.clusters = 4;
+    s.wanShape = net::WanShape::torus({2, 4});
+    EXPECT_NE(s.validate().find("product"), std::string::npos)
+        << s.validate();
+    // Dims on a shape that has none.
+    s = Scenario{};
+    s.wanShape = net::WanShape(net::WanShape::Kind::ring, {2, 2});
+    EXPECT_NE(s.validate().find("wan-dims"), std::string::npos)
+        << s.validate();
+    // Torus/mesh without dims at all.
+    s = Scenario{};
+    s.wanShape = net::WanShape(net::WanShape::Kind::torus);
+    EXPECT_NE(s.validate().find("requires wan-dims"),
+              std::string::npos)
+        << s.validate();
+    // Degenerate extents.
+    s = Scenario{};
+    s.clusters = 4;
+    s.wanShape = net::WanShape::mesh({4, 1});
+    EXPECT_NE(s.validate().find(">= 2"), std::string::npos)
+        << s.validate();
+    // The builder and checked() report the identical spelling.
+    Scenario bad;
+    bad.clusters = 4;
+    bad.wanShape = net::WanShape::torus({2, 4});
+    EXPECT_EQ(ScenarioBuilder(bad).error(), bad.validate());
+    // A consistent torus passes.
+    Scenario ok = ScenarioBuilder()
+                      .clusters(8)
+                      .wanTopology(net::WanShape::torus({2, 2, 2}))
+                      .build();
+    EXPECT_EQ(ok.validate(), "");
+}
+
+TEST(ScenarioApiDeathTest, CheckedIsFatalOnBadWanDims)
+{
+    Scenario s;
+    s.clusters = 4;
+    s.wanShape = net::WanShape::torus({3, 2});
+    EXPECT_DEATH((void)s.checked(), "product");
+}
+
+TEST(ScenarioBuilder, WanDimsComposeWithTopologyInEitherOrder)
+{
+    Scenario a = ScenarioBuilder()
+                     .clusters(8)
+                     .wanTopology(net::WanShape(
+                         net::WanShape::Kind::torus))
+                     .wanDims({2, 2, 2})
+                     .build();
+    EXPECT_EQ(a.wanShape, net::WanShape::torus({2, 2, 2}));
+    // wanTopology() replaces dims wholesale (the shape is a value).
+    Scenario b = a.with()
+                     .wanTopology(net::WanShape::fullyConnected())
+                     .build();
+    EXPECT_TRUE(b.wanShape.dims().empty());
 }
 
 TEST(ScenarioValidate, MessagesNameTheOffendingKnob)

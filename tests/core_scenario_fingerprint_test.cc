@@ -58,7 +58,11 @@ TEST(ScenarioFingerprint, EveryKnobChangesTheHash)
     s.wanJitterFraction = 0.3;
     EXPECT_TRUE(differs(s));
     s = base;
-    s.wanShape = net::WanTopology::star;
+    s.wanShape = net::WanShape::star();
+    EXPECT_TRUE(differs(s));
+    s = base;
+    s.clusters = 4;
+    s.wanShape = net::WanShape::torus({2, 2});
     EXPECT_TRUE(differs(s));
     s = base;
     s.problemScale = 0.5;
@@ -109,8 +113,30 @@ TEST(ScenarioEquality, AllKnobsEqualMeansEqual)
     EXPECT_TRUE(a != b);
 
     b = a;
-    b.wanShape = net::WanTopology::ring;
+    b.wanShape = net::WanShape::ring();
     EXPECT_TRUE(a != b);
+
+    // Same kind, different extents: distinct machines.
+    a.clusters = b.clusters = 8;
+    a.wanShape = net::WanShape::torus({2, 4});
+    b.wanShape = net::WanShape::torus({4, 2});
+    EXPECT_TRUE(a != b);
+}
+
+TEST(ScenarioFingerprint, WanDimsAppendOnlyWhenPresent)
+{
+    // Dimensionless shapes hash exactly as before torus/mesh existed:
+    // the pinned golden above is the proof for the default; this
+    // covers that dims themselves are part of the identity.
+    Scenario a;
+    a.clusters = 8;
+    a.wanShape = net::WanShape::torus({2, 4});
+    Scenario b = a;
+    b.wanShape = net::WanShape::torus({4, 2});
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    Scenario mesh = a;
+    mesh.wanShape = net::WanShape::mesh({2, 4});
+    EXPECT_NE(a.fingerprint(), mesh.fingerprint());
 }
 
 TEST(ScenarioEquality, DerivationsCompareAsExpected)

@@ -77,7 +77,7 @@ expectSameResult(const core::RunResult &a, const core::RunResult &b)
 
     const net::FabricStats &ta = a.traffic;
     const net::FabricStats &tb = b.traffic;
-    EXPECT_EQ(ta.wanTopology, tb.wanTopology);
+    EXPECT_EQ(ta.wanShape, tb.wanShape);
     EXPECT_EQ(ta.clusters, tb.clusters);
     EXPECT_EQ(ta.wanTransit, tb.wanTransit);
     expectSameStats(ta.intra, tb.intra);

@@ -220,7 +220,7 @@ TEST(Fabric, StatsSnapshotCoversEveryLinkClass)
     sim.run();
     FabricStats s = fab.stats();
     EXPECT_EQ(s.clusters, 2);
-    EXPECT_EQ(s.wanTopology, WanTopology::fullyConnected);
+    EXPECT_EQ(s.wanShape, WanShape::fullyConnected());
     EXPECT_EQ(s.wanLink(0, 1).messages, 1u);
     EXPECT_EQ(s.wanLink(0, 1).bytes, 500u);
     EXPECT_EQ(s.wanLink(1, 0).messages, 0u);
@@ -273,10 +273,10 @@ TEST(Fabric, StatsAccumulateWanTransitForInterMessages)
 }
 
 FabricParams
-topoParams(WanTopology shape)
+topoParams(const WanShape &shape)
 {
     FabricParams p = simpleParams();
-    p.wanTopology = shape;
+    p.wanShape = shape;
     return p;
 }
 
@@ -285,7 +285,7 @@ TEST(Fabric, StarTwoSegmentTiming)
     // A star transfer serializes twice (up-link, then down-link) but
     // the two segments split the one-way propagation latency.
     sim::Simulation sim;
-    Fabric fab(sim, Topology(4, 1), topoParams(WanTopology::star));
+    Fabric fab(sim, Topology(4, 1), topoParams(WanShape::star()));
     double arrived = -1;
     fab.send(0, 2, 1000, [&] { arrived = sim.now(); });
     sim.run();
@@ -296,7 +296,7 @@ TEST(Fabric, StarTwoSegmentTiming)
 TEST(Fabric, RingTwoHopStoreAndForwardTiming)
 {
     sim::Simulation sim;
-    Fabric fab(sim, Topology(4, 1), topoParams(WanTopology::ring));
+    Fabric fab(sim, Topology(4, 1), topoParams(WanShape::ring()));
     double arrived = -1;
     fab.send(0, 2, 1000, [&] { arrived = sim.now(); });
     sim.run();
@@ -310,7 +310,7 @@ TEST(Fabric, RingTwoHopStoreAndForwardTiming)
  * always indexed wanLinks_ as src*C + dst, which on star and ring (2C
  * links) both read out of bounds and modeled the wrong route.
  */
-class WanShapeProbe : public ::testing::TestWithParam<WanTopology>
+class WanShapeProbe : public ::testing::TestWithParam<WanShape>
 {
 };
 
@@ -324,7 +324,7 @@ TEST_P(WanShapeProbe, ProbeMatchesSendWhenIdleAtFourClusters)
         fab.send(1, dst, 700, [&] { arrived = sim.now(); });
         sim.run();
         EXPECT_DOUBLE_EQ(probed, arrived)
-            << wanTopologyName(GetParam()) << " to rank " << dst;
+            << GetParam().spec() << " to rank " << dst;
     }
 }
 
@@ -338,21 +338,26 @@ TEST_P(WanShapeProbe, ProbeReflectsQueueingBehindEarlierSend)
     double arrived = -1;
     fab.send(0, 6, 900, [&] { arrived = sim.now(); });
     sim.run();
-    EXPECT_DOUBLE_EQ(probed, arrived) << wanTopologyName(GetParam());
+    EXPECT_DOUBLE_EQ(probed, arrived) << GetParam().spec();
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllShapes, WanShapeProbe,
-    ::testing::Values(WanTopology::fullyConnected, WanTopology::star,
-                      WanTopology::ring),
-    [](const ::testing::TestParamInfo<WanTopology> &info) {
-        switch (info.param) {
-          case WanTopology::fullyConnected:
+    ::testing::Values(WanShape::fullyConnected(), WanShape::star(),
+                      WanShape::ring(), WanShape::torus({2, 2}),
+                      WanShape::mesh({2, 2})),
+    [](const ::testing::TestParamInfo<WanShape> &info) {
+        switch (info.param.kind()) {
+          case WanShape::Kind::fullyConnected:
             return "FullyConnected";
-          case WanTopology::star:
+          case WanShape::Kind::star:
             return "Star";
-          case WanTopology::ring:
+          case WanShape::Kind::ring:
             return "Ring";
+          case WanShape::Kind::torus:
+            return "Torus";
+          case WanShape::Kind::mesh:
+            return "Mesh";
         }
         return "Unknown";
     });
@@ -360,7 +365,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Fabric, WanLinkStatsStarReportsUpLink)
 {
     sim::Simulation sim;
-    Fabric fab(sim, Topology(4, 1), topoParams(WanTopology::star));
+    Fabric fab(sim, Topology(4, 1), topoParams(WanShape::star()));
     fab.send(0, 1, 500, [] {});
     fab.send(0, 2, 300, [] {});
     sim.run();
@@ -382,7 +387,7 @@ TEST(Fabric, WanLinkStatsStarReportsUpLink)
 TEST(Fabric, WanLinkStatsRingReportsFirstHopOfShorterArc)
 {
     sim::Simulation sim;
-    Fabric fab(sim, Topology(4, 1), topoParams(WanTopology::ring));
+    Fabric fab(sim, Topology(4, 1), topoParams(WanShape::ring()));
     fab.send(0, 1, 500, [] {}); // clockwise arc
     fab.send(0, 3, 300, [] {}); // counterclockwise arc
     sim.run();

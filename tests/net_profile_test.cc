@@ -28,7 +28,7 @@ TEST(Profile, DasComposesCalibratedLayers)
     EXPECT_DOUBLE_EQ(p.gateway.bandwidth, 14e6);
     EXPECT_DOUBLE_EQ(p.gateway.perMessageCost, 100e-6);
     // Nothing else is switched on by a bare preset.
-    EXPECT_EQ(p.wanTopology, WanTopology::fullyConnected);
+    EXPECT_EQ(p.wanShape, WanShape::fullyConnected());
     EXPECT_DOUBLE_EQ(p.wanJitter, 0.0);
     EXPECT_FALSE(p.impairments.active());
 }
@@ -60,8 +60,8 @@ TEST(Profile, WithJitterReplacesOnlyTheJitterAspect)
 TEST(Profile, WithTopologyReplacesOnlyTheShape)
 {
     FabricParams p =
-        Profile::das(6.0, 0.5).withTopology(WanTopology::ring).params();
-    EXPECT_EQ(p.wanTopology, WanTopology::ring);
+        Profile::das(6.0, 0.5).withTopology(WanShape::ring()).params();
+    EXPECT_EQ(p.wanShape, WanShape::ring());
     EXPECT_DOUBLE_EQ(p.wide.bandwidth, 6e6);
 }
 
@@ -91,13 +91,13 @@ TEST(Profile, DerivationsChainWithoutInterfering)
     imp.lossRate = 0.01;
     FabricParams p = Profile::das(2.0, 3.0)
                          .withJitter(0.25, 5)
-                         .withTopology(WanTopology::star)
+                         .withTopology(WanShape::star())
                          .withImpairments(imp)
                          .params();
     EXPECT_DOUBLE_EQ(p.wide.bandwidth, 2e6);
     EXPECT_DOUBLE_EQ(p.wide.latency, 3e-3);
     EXPECT_DOUBLE_EQ(p.wanJitter, 0.25);
-    EXPECT_EQ(p.wanTopology, WanTopology::star);
+    EXPECT_EQ(p.wanShape, WanShape::star());
     EXPECT_DOUBLE_EQ(p.impairments.lossRate, 0.01);
 }
 

@@ -18,19 +18,20 @@ namespace tli::net {
 namespace {
 
 FabricParams
-topoParams(WanTopology t)
+topoParams(const WanShape &shape)
 {
     FabricParams p;
     p.local.latency = 1e-4;
     p.local.bandwidth = 1e8;
     p.wide.latency = 10e-3;
     p.wide.bandwidth = 1e6;
-    p.wanTopology = t;
+    p.wanShape = shape;
     return p;
 }
 
 double
-oneTransfer(WanTopology t, int clusters, ClusterId from, ClusterId to)
+oneTransfer(const WanShape &t, int clusters, ClusterId from,
+            ClusterId to)
 {
     sim::Simulation sim;
     Fabric fab(sim, Topology(clusters, 1), topoParams(t));
@@ -42,26 +43,28 @@ oneTransfer(WanTopology t, int clusters, ClusterId from, ClusterId to)
 
 TEST(WanTopologyVariants, NamesAreStable)
 {
-    EXPECT_STREQ(wanTopologyName(WanTopology::fullyConnected),
+    EXPECT_STREQ(WanShape::fullyConnected().name(),
                  "fully-connected");
-    EXPECT_STREQ(wanTopologyName(WanTopology::star), "star");
-    EXPECT_STREQ(wanTopologyName(WanTopology::ring), "ring");
+    EXPECT_STREQ(WanShape::star().name(), "star");
+    EXPECT_STREQ(WanShape::ring().name(), "ring");
+    EXPECT_STREQ(WanShape::torus({2, 2}).name(), "torus");
+    EXPECT_STREQ(WanShape::mesh({2, 2}).name(), "mesh");
 }
 
 TEST(WanTopologyVariants, StarMatchesFullLatencyForOneTransfer)
 {
     // A single unloaded transfer pays one WAN latency either way (the
     // star splits it across the two access links).
-    double full = oneTransfer(WanTopology::fullyConnected, 4, 0, 2);
-    double star = oneTransfer(WanTopology::star, 4, 0, 2);
+    double full = oneTransfer(WanShape::fullyConnected(), 4, 0, 2);
+    double star = oneTransfer(WanShape::star(), 4, 0, 2);
     // The star serializes the payload twice (up + down).
     EXPECT_NEAR(star, full + 1000 / 1e6, 2e-4);
 }
 
 TEST(WanTopologyVariants, RingPaysPerHop)
 {
-    double one_hop = oneTransfer(WanTopology::ring, 4, 0, 1);
-    double two_hops = oneTransfer(WanTopology::ring, 4, 0, 2);
+    double one_hop = oneTransfer(WanShape::ring(), 4, 0, 1);
+    double two_hops = oneTransfer(WanShape::ring(), 4, 0, 2);
     EXPECT_GT(two_hops, 1.8 * one_hop);
     EXPECT_LT(two_hops, 2.2 * one_hop);
 }
@@ -69,15 +72,15 @@ TEST(WanTopologyVariants, RingPaysPerHop)
 TEST(WanTopologyVariants, RingTakesTheShorterArc)
 {
     // 0 -> 3 on a 4-ring is one counterclockwise hop, not three.
-    double back = oneTransfer(WanTopology::ring, 4, 0, 3);
-    double forward = oneTransfer(WanTopology::ring, 4, 0, 1);
+    double back = oneTransfer(WanShape::ring(), 4, 0, 3);
+    double forward = oneTransfer(WanShape::ring(), 4, 0, 1);
     EXPECT_NEAR(back, forward, 1e-6);
 }
 
 TEST(WanTopologyVariants, StarSharedDownlinkContends)
 {
     sim::Simulation sim;
-    Fabric fab(sim, Topology(3, 1), topoParams(WanTopology::star));
+    Fabric fab(sim, Topology(3, 1), topoParams(WanShape::star()));
     std::vector<double> arrivals;
     // Both messages descend through cluster 1's access link.
     fab.send(0, 1, 100000, [&] { arrivals.push_back(sim.now()); });
@@ -93,7 +96,7 @@ TEST(WanTopologyVariants, FullyConnectedPairsDoNotContend)
 {
     sim::Simulation sim;
     Fabric fab(sim, Topology(4, 1),
-               topoParams(WanTopology::fullyConnected));
+               topoParams(WanShape::fullyConnected()));
     std::vector<double> arrivals;
     fab.send(0, 1, 100000, [&] { arrivals.push_back(sim.now()); });
     fab.send(2, 3, 100000, [&] { arrivals.push_back(sim.now()); });
@@ -105,7 +108,7 @@ TEST(WanTopologyVariants, FullyConnectedPairsDoNotContend)
 TEST(WanTopologyVariants, RingSharedHopContends)
 {
     sim::Simulation sim;
-    Fabric fab(sim, Topology(4, 1), topoParams(WanTopology::ring));
+    Fabric fab(sim, Topology(4, 1), topoParams(WanShape::ring()));
     std::vector<double> arrivals;
     // 0 -> 2 (hops 0->1->2) and 1 -> 2 (hop 1->2) share link 1->2.
     fab.send(0, 2, 100000, [&] { arrivals.push_back(sim.now()); });
@@ -119,7 +122,9 @@ TEST(WanTopologyVariants, RingSharedHopContends)
 
 TEST(WanTopologyVariants, ApplicationsVerifyOnEveryTopology)
 {
-    for (auto t : {WanTopology::star, WanTopology::ring}) {
+    for (const WanShape &t :
+         {WanShape::star(), WanShape::ring(), WanShape::torus({2, 2}),
+          WanShape::mesh({2, 2})}) {
         core::Scenario s;
         s.clusters = 4;
         s.procsPerCluster = 2;
@@ -129,7 +134,7 @@ TEST(WanTopologyVariants, ApplicationsVerifyOnEveryTopology)
         // Scenario has no topology knob (the study is about the DAS);
         // construct the variant machine by hand via the fabric params.
         net::FabricParams p = s.fabricParams();
-        p.wanTopology = t;
+        p.wanShape = t;
         // Smoke-check the fabric itself under an application-like
         // load instead: ring/star routing must deliver everything.
         sim::Simulation sim;
@@ -142,7 +147,7 @@ TEST(WanTopologyVariants, ApplicationsVerifyOnEveryTopology)
             }
         }
         sim.run();
-        EXPECT_EQ(delivered, 56) << wanTopologyName(t);
+        EXPECT_EQ(delivered, 56) << t.spec();
         (void)v;
     }
 }

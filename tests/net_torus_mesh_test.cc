@@ -1,0 +1,261 @@
+/**
+ * @file
+ * The torus and mesh wide-area shapes inside the fabric: degenerate
+ * cases that must coincide with the seed topologies (a 1-D torus is
+ * the ring, a 2-cluster torus is the fully connected pair), shared
+ * per-hop contention, and byte conservation — every wide-area link's
+ * counters must add up to the routed traffic on every shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/registry.h"
+#include "core/scenario.h"
+#include "net/fabric.h"
+#include "sim/simulation.h"
+
+namespace tli::net {
+namespace {
+
+FabricParams
+topoParams(const WanShape &shape)
+{
+    FabricParams p;
+    p.local.latency = 1e-4;
+    p.local.bandwidth = 1e8;
+    p.wide.latency = 10e-3;
+    p.wide.bandwidth = 1e6;
+    p.wanShape = shape;
+    return p;
+}
+
+/** Send one message per ordered cluster pair with a distinct size;
+ *  returns per-pair arrival times indexed src * clusters + dst. */
+std::vector<double>
+allPairsArrivals(Fabric &fab, sim::Simulation &sim, int clusters)
+{
+    std::vector<double> arrivals(
+        static_cast<std::size_t>(clusters) * clusters, -1);
+    for (ClusterId a = 0; a < clusters; ++a) {
+        for (ClusterId b = 0; b < clusters; ++b) {
+            if (a == b)
+                continue;
+            std::size_t slot =
+                static_cast<std::size_t>(a) * clusters + b;
+            fab.send(a, b, 1000 + 13 * static_cast<int>(slot),
+                     [&arrivals, slot, &sim] {
+                         arrivals[slot] = sim.now();
+                     });
+        }
+    }
+    sim.run();
+    return arrivals;
+}
+
+TEST(TorusMesh, OneDimensionalTorusIsTheRing)
+{
+    // A {C} torus and the C-ring allocate the same 2C links, route
+    // the same shorter arcs with the same clockwise tie-break, and so
+    // must be the same simulation to the last bit.
+    const int clusters = 8;
+    const WanShape ring = WanShape::ring();
+    const WanShape torus = WanShape::torus({clusters});
+    for (ClusterId a = 0; a < clusters; ++a) {
+        for (ClusterId b = 0; b < clusters; ++b) {
+            if (a != b) {
+                EXPECT_EQ(torus.path(clusters, a, b),
+                          ring.path(clusters, a, b))
+                    << a << "->" << b;
+            }
+        }
+    }
+
+    sim::Simulation ring_sim;
+    Fabric ring_fab(ring_sim, Topology(clusters, 1),
+                    topoParams(ring));
+    std::vector<double> ring_arrivals =
+        allPairsArrivals(ring_fab, ring_sim, clusters);
+
+    sim::Simulation torus_sim;
+    Fabric torus_fab(torus_sim, Topology(clusters, 1),
+                     topoParams(torus));
+    std::vector<double> torus_arrivals =
+        allPairsArrivals(torus_fab, torus_sim, clusters);
+
+    // Bit-identical arrivals, bit-identical per-link traffic; only
+    // the labels differ (cw/ccw vs dim0+/dim0-).
+    EXPECT_EQ(ring_arrivals, torus_arrivals);
+    FabricStats rs = ring_fab.stats();
+    FabricStats ts = torus_fab.stats();
+    ASSERT_EQ(rs.wanLinks.size(), ts.wanLinks.size());
+    for (std::size_t i = 0; i < rs.wanLinks.size(); ++i) {
+        EXPECT_EQ(rs.wanLinks[i].stats.messages,
+                  ts.wanLinks[i].stats.messages)
+            << "link " << i;
+        EXPECT_EQ(rs.wanLinks[i].stats.bytes,
+                  ts.wanLinks[i].stats.bytes);
+        EXPECT_EQ(rs.wanLinks[i].stats.busyTime,
+                  ts.wanLinks[i].stats.busyTime);
+    }
+}
+
+TEST(TorusMesh, TwoClusterTorusMatchesFullyConnected)
+{
+    // With two clusters both shapes are a single dedicated hop each
+    // way: same hop count, same arrival time.
+    const WanShape torus = WanShape::torus({2});
+    const WanShape full = WanShape::fullyConnected();
+    EXPECT_EQ(torus.path(2, 0, 1).size(), 1u);
+    EXPECT_EQ(torus.path(2, 1, 0).size(), 1u);
+    EXPECT_EQ(full.path(2, 0, 1).size(), 1u);
+
+    double arrivals[2];
+    for (int which = 0; which < 2; ++which) {
+        sim::Simulation sim;
+        Fabric fab(sim, Topology(2, 1),
+                   topoParams(which == 0 ? full : torus));
+        double arrived = -1;
+        fab.send(0, 1, 1000, [&] { arrived = sim.now(); });
+        sim.run();
+        arrivals[which] = arrived;
+    }
+    EXPECT_EQ(arrivals[0], arrivals[1]);
+}
+
+TEST(TorusMesh, TorusPaysStoreAndForwardPerHop)
+{
+    // 0 -> 3 on a 2x2 torus resolves dim 0 then dim 1: two full
+    // store-and-forward hops. An adjacent transfer pays one. Each
+    // runs in its own simulation so nothing queues.
+    auto oneTransfer = [](ClusterId from, ClusterId to) {
+        sim::Simulation sim;
+        Fabric fab(sim, Topology(4, 1),
+                   topoParams(WanShape::torus({2, 2})));
+        double arrived = -1;
+        fab.send(from, to, 1000, [&] { arrived = sim.now(); });
+        sim.run();
+        return arrived;
+    };
+    double corner = oneTransfer(0, 3);
+    double adjacent = oneTransfer(0, 1);
+    EXPECT_GT(corner, 1.8 * adjacent);
+    EXPECT_LT(corner, 2.2 * adjacent);
+}
+
+TEST(TorusMesh, SharedDimensionLinkContends)
+{
+    // 0 -> 3 (dim0+ from 0, then dim1+ from 1) and 1 -> 3 (dim1+
+    // from 1) share cluster 1's dim1+ link; the transfers serialize.
+    sim::Simulation sim;
+    Fabric fab(sim, Topology(4, 1),
+               topoParams(WanShape::torus({2, 2})));
+    std::vector<double> arrivals;
+    fab.send(0, 3, 100000, [&] { arrivals.push_back(sim.now()); });
+    fab.send(1, 3, 100000, [&] { arrivals.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    double gap = std::max(arrivals[0], arrivals[1]) -
+                 std::min(arrivals[0], arrivals[1]);
+    // 0.1 s serialization on the shared hop.
+    EXPECT_GT(gap, 0.05);
+}
+
+TEST(TorusMesh, MeshNeverWrapsAround)
+{
+    // On a {8} mesh (a line), 0 -> 7 must walk all seven positive
+    // hops; the ring would take the one-hop wrap.
+    const WanShape mesh = WanShape::mesh({8});
+    EXPECT_EQ(mesh.path(8, 0, 7).size(), 7u);
+    EXPECT_EQ(mesh.path(8, 7, 0).size(), 7u);
+    EXPECT_EQ(WanShape::ring().path(8, 0, 7).size(), 1u);
+
+    // And the unused wrap links stay silent in a real run.
+    sim::Simulation sim;
+    Fabric fab(sim, Topology(8, 1), topoParams(mesh));
+    double arrived = -1;
+    fab.send(0, 7, 1000, [&] { arrived = sim.now(); });
+    sim.run();
+    EXPECT_GT(arrived, 0);
+    FabricStats s = fab.stats();
+    for (std::size_t i = 0; i < s.wanLinks.size(); ++i) {
+        if (s.wanLinks[i].b == invalidCluster) {
+            EXPECT_EQ(s.wanLinks[i].stats.messages, 0u)
+                << "wrap link " << i;
+        }
+    }
+}
+
+/**
+ * Conservation on every shape at 8 clusters: the per-link wanLinks
+ * counters must add up to the routed traffic — each message charges
+ * every store-and-forward hop on its WanShape::path once — while the
+ * inter aggregate counts each message exactly once.
+ */
+TEST(TorusMesh, WanLinkBytesConserveAcrossShapes)
+{
+    const int clusters = 8;
+    for (const WanShape &shape :
+         {WanShape::fullyConnected(), WanShape::star(),
+          WanShape::ring(), WanShape::torus({2, 2, 2}),
+          WanShape::torus({8}), WanShape::mesh({2, 2, 2}),
+          WanShape::mesh({2, 4})}) {
+        sim::Simulation sim;
+        Fabric fab(sim, Topology(clusters, 1), topoParams(shape));
+        std::uint64_t expect_inter_bytes = 0;
+        std::uint64_t expect_inter_msgs = 0;
+        std::uint64_t expect_link_bytes = 0;
+        std::uint64_t expect_link_msgs = 0;
+        int delivered = 0;
+        for (ClusterId a = 0; a < clusters; ++a) {
+            for (ClusterId b = 0; b < clusters; ++b) {
+                if (a == b)
+                    continue;
+                std::uint64_t bytes = 1000 + 13 * (a * clusters + b);
+                std::uint64_t hops =
+                    shape.path(clusters, a, b).size();
+                expect_inter_bytes += bytes;
+                expect_inter_msgs += 1;
+                expect_link_bytes += bytes * hops;
+                expect_link_msgs += hops;
+                fab.send(a, b, bytes, [&] { ++delivered; });
+            }
+        }
+        sim.run();
+        EXPECT_EQ(delivered, clusters * (clusters - 1))
+            << shape.spec();
+        FabricStats s = fab.stats();
+        EXPECT_EQ(s.inter.bytes, expect_inter_bytes) << shape.spec();
+        EXPECT_EQ(s.inter.messages, expect_inter_msgs);
+        std::uint64_t link_bytes = 0;
+        std::uint64_t link_msgs = 0;
+        for (const WanLinkEntry &e : s.wanLinks) {
+            link_bytes += e.stats.bytes;
+            link_msgs += e.stats.messages;
+        }
+        EXPECT_EQ(link_bytes, expect_link_bytes) << shape.spec();
+        EXPECT_EQ(link_msgs, expect_link_msgs) << shape.spec();
+    }
+}
+
+TEST(TorusMesh, ApplicationsVerifyAtEightClusters)
+{
+    for (const WanShape &shape :
+         {WanShape::torus({2, 2, 2}), WanShape::mesh({2, 2, 2})}) {
+        core::Scenario s = core::ScenarioBuilder()
+                               .clusters(8)
+                               .procsPerCluster(2)
+                               .problemScale(0.05)
+                               .wanTopology(shape)
+                               .build();
+        auto v = apps::findVariant("water", "opt");
+        core::RunResult r = v.run(s);
+        EXPECT_TRUE(r.verified) << shape.spec();
+        EXPECT_GT(r.traffic.inter.messages, 0u) << shape.spec();
+    }
+}
+
+} // namespace
+} // namespace tli::net

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * The net::WanShape value type on its own: the canonical name/parse
+ * round trip, validateFor's one-line diagnoses, link enumeration
+ * (linkCount / linkRole), and the dimension-ordered route computation
+ * (path / firstHopIndex / diameter) — everything the Fabric, flags,
+ * reports and result cache consume without knowing shapes exist.
+ */
+
+#include "net/wan_shape.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tli::net {
+namespace {
+
+std::vector<WanShape>
+sampleShapes()
+{
+    return {WanShape::fullyConnected(),
+            WanShape::star(),
+            WanShape::ring(),
+            WanShape::torus({2, 2}),
+            WanShape::torus({4, 4, 2}),
+            WanShape::mesh({3, 3}),
+            WanShape::mesh({2, 3, 2})};
+}
+
+TEST(WanShapeSpelling, ParseNameRoundTripsEveryShape)
+{
+    for (const WanShape &shape : sampleShapes()) {
+        std::optional<WanShape> parsed = parseWanShape(shape.spec());
+        ASSERT_TRUE(parsed.has_value()) << shape.spec();
+        EXPECT_EQ(*parsed, shape) << shape.spec();
+    }
+    // Dimensionless kinds: spec() is just the name.
+    EXPECT_EQ(WanShape::star().spec(), "star");
+    EXPECT_EQ(WanShape::torus({4, 4, 2}).spec(), "torus-4x4x2");
+}
+
+TEST(WanShapeSpelling, ParseAcceptsAliasesAndBareKinds)
+{
+    EXPECT_EQ(parseWanShape("full"), WanShape::fullyConnected());
+    EXPECT_EQ(parseWanShape("fully-connected"),
+              WanShape::fullyConnected());
+    // A bare torus/mesh parses with no dims; validateFor demands the
+    // dims later, so --wan-topology=torus --wan-dims=... works.
+    std::optional<WanShape> bare = parseWanShape("torus");
+    ASSERT_TRUE(bare.has_value());
+    EXPECT_TRUE(bare->dims().empty());
+}
+
+TEST(WanShapeSpelling, ParseRejectsJunk)
+{
+    EXPECT_FALSE(parseWanShape("bus").has_value());
+    EXPECT_FALSE(parseWanShape("").has_value());
+    EXPECT_FALSE(parseWanShape("torus-").has_value());
+    EXPECT_FALSE(parseWanShape("torus-4x").has_value());
+    EXPECT_FALSE(parseWanShape("torus-4xx2").has_value());
+    EXPECT_FALSE(parseWanShape("torus-a").has_value());
+    EXPECT_FALSE(parseWanShape("ring-4").has_value());
+    EXPECT_FALSE(parseWanShape("torus2x2").has_value());
+}
+
+TEST(WanShapeSpelling, DimsParseAndPrint)
+{
+    EXPECT_EQ(parseWanDims("4x4x2"),
+              (std::vector<int>{4, 4, 2}));
+    EXPECT_EQ(parseWanDims("8"), std::vector<int>{8});
+    EXPECT_FALSE(parseWanDims("").has_value());
+    EXPECT_FALSE(parseWanDims("4x-2").has_value());
+    EXPECT_FALSE(parseWanDims("0x4").has_value());
+    EXPECT_FALSE(parseWanDims("x4").has_value());
+    EXPECT_EQ(wanDimsSpec({4, 4, 2}), "4x4x2");
+    EXPECT_EQ(wanDimsSpec({}), "");
+}
+
+TEST(WanShapeValidate, AcceptsConsistentShapes)
+{
+    EXPECT_EQ(WanShape::fullyConnected().validateFor(4), "");
+    EXPECT_EQ(WanShape::ring().validateFor(3), "");
+    EXPECT_EQ(WanShape::torus({4, 4, 2}).validateFor(32), "");
+    EXPECT_EQ(WanShape::mesh({2, 2}).validateFor(4), "");
+}
+
+TEST(WanShapeValidate, DiagnosesEachInconsistency)
+{
+    // Dims on a dimensionless kind.
+    std::string err =
+        WanShape(WanShape::Kind::ring, {2, 2}).validateFor(4);
+    EXPECT_NE(err.find("wan-dims only apply"), std::string::npos)
+        << err;
+    // Torus without dims.
+    err = WanShape(WanShape::Kind::torus).validateFor(4);
+    EXPECT_NE(err.find("requires wan-dims"), std::string::npos)
+        << err;
+    // Degenerate extent.
+    err = WanShape::mesh({4, 1}).validateFor(4);
+    EXPECT_NE(err.find(">= 2"), std::string::npos) << err;
+    // Product mismatch.
+    err = WanShape::torus({2, 2}).validateFor(8);
+    EXPECT_NE(err.find("product"), std::string::npos) << err;
+    // Too many dimensions (labels are a static table).
+    err = WanShape::torus({2, 2, 2, 2, 2, 2, 2, 2, 2})
+              .validateFor(512);
+    EXPECT_NE(err.find("at most"), std::string::npos) << err;
+}
+
+TEST(WanShapeLinks, CountsPerShape)
+{
+    EXPECT_EQ(WanShape::fullyConnected().linkCount(4), 16u);
+    EXPECT_EQ(WanShape::star().linkCount(4), 8u);
+    EXPECT_EQ(WanShape::ring().linkCount(4), 8u);
+    // 2 links per cluster per dimension.
+    EXPECT_EQ(WanShape::torus({4, 4, 2}).linkCount(32), 192u);
+    EXPECT_EQ(WanShape::mesh({2, 2}).linkCount(4), 16u);
+}
+
+TEST(WanShapeLinks, RolesLabelEveryLink)
+{
+    const WanShape torus = WanShape::torus({2, 2});
+    // Dim-0 positive links come first, then dim-0 negative, ...
+    WanShape::LinkRole r = torus.linkRole(4, 0);
+    EXPECT_EQ(r.a, 0);
+    EXPECT_EQ(r.b, 1);
+    EXPECT_STREQ(r.kind, "dim0+");
+    r = torus.linkRole(4, 4 + 1); // dim-0 negative from cluster 1
+    EXPECT_EQ(r.a, 1);
+    EXPECT_EQ(r.b, 0);
+    EXPECT_STREQ(r.kind, "dim0-");
+    r = torus.linkRole(4, 2 * 4 + 1); // dim-1 positive from cluster 1
+    EXPECT_EQ(r.a, 1);
+    EXPECT_EQ(r.b, 3);
+    EXPECT_STREQ(r.kind, "dim1+");
+
+    // Mesh wrap edges exist in the layout but reach nothing.
+    const WanShape mesh = WanShape::mesh({2, 2});
+    r = mesh.linkRole(4, 1); // dim0+ from cluster 1: would wrap
+    EXPECT_EQ(r.a, 1);
+    EXPECT_EQ(r.b, invalidCluster);
+    r = mesh.linkRole(4, 4 + 0); // dim0- from cluster 0: would wrap
+    EXPECT_EQ(r.b, invalidCluster);
+
+    // The dimensionless shapes keep their seed-era labels.
+    EXPECT_STREQ(WanShape::fullyConnected().linkRole(4, 5).kind,
+                 "pair");
+    EXPECT_STREQ(WanShape::star().linkRole(4, 2).kind, "up");
+    EXPECT_STREQ(WanShape::star().linkRole(4, 6).kind, "down");
+    EXPECT_STREQ(WanShape::ring().linkRole(4, 2).kind, "cw");
+    EXPECT_STREQ(WanShape::ring().linkRole(4, 6).kind, "ccw");
+}
+
+TEST(WanShapeLinks, CanonicalKindInternsEveryLabel)
+{
+    for (const WanShape &shape : sampleShapes()) {
+        int clusters = 1;
+        for (int d : shape.dims())
+            clusters *= d;
+        if (!shape.dimensional())
+            clusters = 4;
+        for (std::size_t i = 0; i < shape.linkCount(clusters); ++i) {
+            const char *kind = shape.linkRole(clusters, i).kind;
+            EXPECT_STREQ(canonicalWanLinkKind(kind), kind);
+        }
+    }
+    EXPECT_STREQ(canonicalWanLinkKind("no-such-kind"), "");
+}
+
+TEST(WanShapeRouting, PathsStayWithinTheDiameter)
+{
+    for (const WanShape &shape : sampleShapes()) {
+        int clusters = 1;
+        for (int d : shape.dims())
+            clusters *= d;
+        if (!shape.dimensional())
+            clusters = 6;
+        const int diameter = shape.diameter(clusters);
+        for (ClusterId a = 0; a < clusters; ++a) {
+            for (ClusterId b = 0; b < clusters; ++b) {
+                if (a == b)
+                    continue;
+                std::vector<std::size_t> p =
+                    shape.path(clusters, a, b);
+                ASSERT_FALSE(p.empty())
+                    << shape.spec() << " " << a << "->" << b;
+                EXPECT_LE(static_cast<int>(p.size()), diameter)
+                    << shape.spec() << " " << a << "->" << b;
+                // Every hop is a real link of the shape...
+                for (std::size_t link : p)
+                    EXPECT_LT(link, shape.linkCount(clusters));
+                // ...and the first one is what the stats lookup uses.
+                EXPECT_EQ(p.front(),
+                          shape.firstHopIndex(clusters, a, b));
+            }
+        }
+    }
+}
+
+TEST(WanShapeRouting, DimensionOrderedPathsChainNeighborLinks)
+{
+    // Each hop's far cluster is the next hop's near cluster, ending
+    // at the destination: the e-cube walk is a connected route.
+    for (const WanShape &shape :
+         {WanShape::torus({4, 4, 2}), WanShape::mesh({2, 3, 2})}) {
+        int clusters = 1;
+        for (int d : shape.dims())
+            clusters *= d;
+        for (ClusterId a = 0; a < clusters; ++a) {
+            for (ClusterId b = 0; b < clusters; ++b) {
+                if (a == b)
+                    continue;
+                ClusterId at = a;
+                for (std::size_t link : shape.path(clusters, a, b)) {
+                    WanShape::LinkRole role =
+                        shape.linkRole(clusters, link);
+                    ASSERT_EQ(role.a, at)
+                        << shape.spec() << " " << a << "->" << b;
+                    ASSERT_NE(role.b, invalidCluster);
+                    at = role.b;
+                }
+                EXPECT_EQ(at, b)
+                    << shape.spec() << " " << a << "->" << b;
+            }
+        }
+    }
+}
+
+TEST(WanShapeRouting, DiametersMatchTheClosedForms)
+{
+    EXPECT_EQ(WanShape::fullyConnected().diameter(8), 1);
+    EXPECT_EQ(WanShape::star().diameter(8), 2);
+    EXPECT_EQ(WanShape::ring().diameter(8), 4);
+    EXPECT_EQ(WanShape::torus({4, 4, 2}).diameter(32), 5);
+    EXPECT_EQ(WanShape::mesh({4, 4, 2}).diameter(32), 7);
+}
+
+TEST(WanShapeValue, EqualityCoversKindAndDims)
+{
+    EXPECT_EQ(WanShape::torus({2, 4}), WanShape::torus({2, 4}));
+    EXPECT_NE(WanShape::torus({2, 4}), WanShape::torus({4, 2}));
+    EXPECT_NE(WanShape::torus({2, 4}), WanShape::mesh({2, 4}));
+    EXPECT_NE(WanShape::ring(), WanShape::star());
+}
+
+TEST(WanShapeSegments, OnlyTheStarSplitsTheLatency)
+{
+    LinkParams wide;
+    wide.latency = 10e-3;
+    wide.bandwidth = 1e6;
+    wide.perMessageCost = 4e-3;
+    LinkParams star = WanShape::star().segmentParams(wide);
+    EXPECT_DOUBLE_EQ(star.latency, 5e-3);
+    EXPECT_DOUBLE_EQ(star.perMessageCost, 2e-3);
+    EXPECT_DOUBLE_EQ(star.bandwidth, 1e6);
+    for (const WanShape &shape :
+         {WanShape::fullyConnected(), WanShape::ring(),
+          WanShape::torus({2, 2}), WanShape::mesh({2, 2})}) {
+        LinkParams p = shape.segmentParams(wide);
+        EXPECT_DOUBLE_EQ(p.latency, wide.latency) << shape.spec();
+        EXPECT_DOUBLE_EQ(p.perMessageCost, wide.perMessageCost);
+    }
+}
+
+} // namespace
+} // namespace tli::net

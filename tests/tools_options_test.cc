@@ -61,7 +61,7 @@ TEST(ScenarioOptionsParse, ScenarioFlags)
     EXPECT_EQ(opts.scenario.wanBandwidthMBs, 0.95);
     EXPECT_EQ(opts.scenario.wanLatencyMs, 12.5);
     EXPECT_EQ(opts.scenario.wanJitterFraction, 0.25);
-    EXPECT_EQ(opts.scenario.wanShape, net::WanTopology::ring);
+    EXPECT_EQ(opts.scenario.wanShape, net::WanShape::ring());
     EXPECT_EQ(opts.scenario.problemScale, 0.5);
     EXPECT_EQ(opts.scenario.seed, 7u);
     EXPECT_TRUE(opts.scenario.allMyrinet);
@@ -129,8 +129,46 @@ TEST(ScenarioOptionsParse, RejectsUnknownFlags)
     ScenarioOptions opts;
     EXPECT_FALSE(opts.parseOne("--jobs"));  // missing =N
     EXPECT_FALSE(opts.parseOne("--cache")); // not a flag
-    EXPECT_FALSE(opts.parseOne("--wan-topology=mesh"));
+    EXPECT_FALSE(opts.parseOne("--wan-topology=bus"));
+    EXPECT_FALSE(opts.parseOne("--wan-dims=4xx2"));
+    EXPECT_FALSE(opts.parseOne("--wan-dims="));
     EXPECT_FALSE(opts.parseOne("positional"));
+}
+
+TEST(ScenarioOptionsParse, WanShapeFlags)
+{
+    // The two spellings of a 2x2 torus.
+    ScenarioOptions spec = parseAll(
+        {"--clusters=4", "--procs=2", "--wan-topology=torus-2x2"});
+    EXPECT_EQ(spec.scenario.wanShape, net::WanShape::torus({2, 2}));
+
+    ScenarioOptions dims = parseAll(
+        {"--clusters=4", "--procs=2", "--wan-topology=torus",
+         "--wan-dims=2x2"});
+    EXPECT_TRUE(spec.scenario == dims.scenario);
+
+    // --wan-dims composes with --wan-topology in either flag order.
+    ScenarioOptions reversed = parseAll(
+        {"--wan-dims=2x2", "--wan-topology=mesh", "--clusters=4",
+         "--procs=2"});
+    EXPECT_EQ(reversed.scenario.wanShape, net::WanShape::mesh({2, 2}));
+}
+
+TEST(ScenarioOptionsParse, FinalizeReportsShapeMismatch)
+{
+    // The flag parses fine; the product check is finalize()'s job,
+    // with the same spelling Scenario::validate() uses everywhere.
+    ScenarioOptions opts;
+    EXPECT_TRUE(opts.parseOne("--clusters=4"));
+    EXPECT_TRUE(opts.parseOne("--wan-topology=torus"));
+    EXPECT_TRUE(opts.parseOne("--wan-dims=2x4"));
+    std::string err = opts.finalize();
+    EXPECT_NE(err.find("product"), std::string::npos) << err;
+
+    core::Scenario manual;
+    manual.clusters = 4;
+    manual.wanShape = net::WanShape::torus({2, 4});
+    EXPECT_EQ(err, manual.validate());
 }
 
 TEST(MakeEngine, HonoursCacheAndJobs)

@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <utility>
+#include <vector>
 
 namespace tli::tools {
 
@@ -46,17 +49,19 @@ ScenarioOptions::parseOne(const char *arg)
     else if (std::strcmp(arg, "--wan-outage-queue") == 0)
         builder_.wanOutageQueue();
     else if (const char *v = flagValue(arg, "--wan-topology=")) {
-        if (std::strcmp(v, "fully-connected") == 0 ||
-            std::strcmp(v, "full") == 0) {
-            builder_.wanTopology(net::WanTopology::fullyConnected);
-        } else if (std::strcmp(v, "star") == 0) {
-            builder_.wanTopology(net::WanTopology::star);
-        } else if (std::strcmp(v, "ring") == 0) {
-            builder_.wanTopology(net::WanTopology::ring);
-        } else {
+        std::optional<net::WanShape> shape = net::parseWanShape(v);
+        if (!shape) {
             std::fprintf(stderr, "unknown wan topology: %s\n", v);
             return false;
         }
+        wanShape_ = std::move(*shape);
+    } else if (const char *v = flagValue(arg, "--wan-dims=")) {
+        std::optional<std::vector<int>> dims = net::parseWanDims(v);
+        if (!dims) {
+            std::fprintf(stderr, "bad wan dims: %s\n", v);
+            return false;
+        }
+        wanDims_ = std::move(*dims);
     } else if (const char *v = flagValue(arg, "--scale="))
         builder_.problemScale(std::atof(v));
     else if (const char *v = flagValue(arg, "--seed="))
@@ -82,6 +87,12 @@ std::string
 ScenarioOptions::finalize()
 {
     builder_.wanOutage(outageStart_, outageDuration_, outagePeriod_);
+    // Topology before dims: --wan-dims must land on the requested
+    // shape no matter which flag came first on the command line.
+    if (wanShape_)
+        builder_.wanTopology(*wanShape_);
+    if (wanDims_)
+        builder_.wanDims(*wanDims_);
     std::string err = builder_.error();
     if (err.empty())
         scenario = builder_.build();
@@ -126,7 +137,11 @@ ScenarioOptions::usage(std::FILE *os)
         "                         (0 = a single window)\n"
         "  --wan-outage-queue     queue at the gateway during outages\n"
         "                         instead of dropping\n"
-        "  --wan-topology=SHAPE   fully-connected | star | ring\n"
+        "  --wan-topology=SHAPE   fully-connected | star | ring |\n"
+        "                         torus | mesh (torus/mesh also take\n"
+        "                         a spec form, e.g. torus-4x4x2)\n"
+        "  --wan-dims=AxBx...     per-dimension extents for torus or\n"
+        "                         mesh; product must equal clusters\n"
         "  --scale=F              workload scale (default 1.0)\n"
         "  --seed=N               workload seed (default 42)\n"
         "  --all-myrinet          every link at Myrinet speed\n"

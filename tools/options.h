@@ -12,7 +12,9 @@
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/scenario.h"
 #include "exec/engine.h"
@@ -80,6 +82,13 @@ struct ScenarioOptions
     double outageStart_ = 0;
     double outageDuration_ = 0;
     double outagePeriod_ = 0;
+    /**
+     * Shape knobs are staged too, so --wan-dims=4x2 --wan-topology=
+     * torus means the same as the reverse order: finalize() applies
+     * the topology first and the dims on top of it.
+     */
+    std::optional<net::WanShape> wanShape_;
+    std::optional<std::vector<int>> wanDims_;
 };
 
 /**
