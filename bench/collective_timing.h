@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared machinery for timing one MPI-style collective operation on a
+ * fresh fabric: used by bench/magpie_collectives for the §6 flat-vs-
+ * MagPIe tables and by bench/wan_topology for the same comparison per
+ * wide-area shape.
+ */
+
+#ifndef TWOLAYER_BENCH_COLLECTIVE_TIMING_H_
+#define TWOLAYER_BENCH_COLLECTIVE_TIMING_H_
+
+#include <string>
+#include <vector>
+
+#include "magpie/communicator.h"
+#include "net/config.h"
+#include "net/fabric.h"
+#include "net/topology.h"
+#include "panda/panda.h"
+#include "sim/logging.h"
+#include "sim/simulation.h"
+
+namespace tli::bench {
+
+/** The fourteen collective operations of MagPIe's evaluation. */
+inline const std::vector<std::string> &
+allCollectives()
+{
+    static const std::vector<std::string> ops = {
+        "barrier",  "bcast",      "gather",   "gatherv",
+        "scatter",  "scatterv",   "allgather", "allgatherv",
+        "alltoall", "alltoallv",  "reduce",   "allreduce",
+        "reduce_scatter", "scan",
+    };
+    return ops;
+}
+
+/** Make one call of the named collective on one rank. */
+inline sim::Task<void>
+invokeCollective(magpie::Communicator &comm, const std::string &op,
+                 Rank self, int p, int elems)
+{
+    using magpie::ReduceOp;
+    using magpie::Table;
+    using magpie::Vec;
+    Vec data(static_cast<std::size_t>(elems), 1.0 * self);
+    if (op == "barrier") {
+        co_await comm.barrier(self);
+    } else if (op == "bcast") {
+        (void)co_await comm.bcast(self, 0, std::move(data));
+    } else if (op == "reduce") {
+        (void)co_await comm.reduce(self, 0, std::move(data),
+                                   ReduceOp::sum());
+    } else if (op == "allreduce") {
+        (void)co_await comm.allreduce(self, std::move(data),
+                                      ReduceOp::sum());
+    } else if (op == "gather") {
+        (void)co_await comm.gather(self, 0, std::move(data));
+    } else if (op == "gatherv") {
+        Vec ragged(static_cast<std::size_t>(elems + self), 1.0);
+        (void)co_await comm.gatherv(self, 0, std::move(ragged));
+    } else if (op == "scatter" || op == "scatterv") {
+        Table chunks;
+        if (self == 0)
+            chunks.assign(p, Vec(elems, 2.0));
+        if (op == "scatter")
+            (void)co_await comm.scatter(self, 0, std::move(chunks));
+        else
+            (void)co_await comm.scatterv(self, 0, std::move(chunks));
+    } else if (op == "allgather") {
+        (void)co_await comm.allgather(self, std::move(data));
+    } else if (op == "allgatherv") {
+        Vec ragged(static_cast<std::size_t>(elems + self), 1.0);
+        (void)co_await comm.allgatherv(self, std::move(ragged));
+    } else if (op == "alltoall" || op == "alltoallv") {
+        Table rows(p, Vec(elems / 4 + 1, 1.0 * self));
+        if (op == "alltoall")
+            (void)co_await comm.alltoall(self, std::move(rows));
+        else
+            (void)co_await comm.alltoallv(self, std::move(rows));
+    } else if (op == "scan") {
+        (void)co_await comm.scan(self, std::move(data),
+                                 ReduceOp::sum());
+    } else if (op == "reduce_scatter") {
+        Table rows(p, Vec(elems / 4 + 1, 1.0 * self));
+        (void)co_await comm.reduceScatter(self, std::move(rows),
+                                          ReduceOp::sum());
+    } else {
+        TLI_FATAL("unknown op ", op);
+    }
+}
+
+/**
+ * Completion time (all ranks finished) of one collective call on a
+ * machine built from @p params — the wide-area shape, latency and
+ * bandwidth all come from the profile that produced it.
+ */
+inline double
+timeCollective(const std::string &op, magpie::Algorithm alg,
+               const net::FabricParams &params, int clusters,
+               int procs, int elems)
+{
+    sim::Simulation sim;
+    net::Topology topo(clusters, procs);
+    net::Fabric fabric(sim, topo, params);
+    panda::Panda panda(sim, fabric);
+    magpie::Communicator comm(panda, alg);
+    const int p = topo.totalRanks();
+    for (Rank r = 0; r < p; ++r)
+        sim.spawn(invokeCollective(comm, op, r, p, elems));
+    sim.run();
+    return sim.now();
+}
+
+} // namespace tli::bench
+
+#endif // TWOLAYER_BENCH_COLLECTIVE_TIMING_H_

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "bench/collective_timing.h"
 #include "core/metrics.h"
 #include "magpie/communicator.h"
 #include "net/config.h"
@@ -24,84 +25,20 @@ using magpie::ReduceOp;
 using magpie::Table;
 using magpie::Vec;
 
+
 namespace {
 
-/** Make one call of the named collective on one rank. */
-sim::Task<void>
-invokeOp(Communicator &comm, const std::string &op, Rank self, int p,
-         int elems)
-{
-    Vec data(self == 0 ? elems : elems, 1.0 * self);
-    if (op == "barrier") {
-        co_await comm.barrier(self);
-    } else if (op == "bcast") {
-        (void)co_await comm.bcast(self, 0, std::move(data));
-    } else if (op == "reduce") {
-        (void)co_await comm.reduce(self, 0, std::move(data),
-                                   ReduceOp::sum());
-    } else if (op == "allreduce") {
-        (void)co_await comm.allreduce(self, std::move(data),
-                                      ReduceOp::sum());
-    } else if (op == "gather") {
-        (void)co_await comm.gather(self, 0, std::move(data));
-    } else if (op == "gatherv") {
-        Vec ragged(static_cast<std::size_t>(elems + self), 1.0);
-        (void)co_await comm.gatherv(self, 0, std::move(ragged));
-    } else if (op == "scatter" || op == "scatterv") {
-        Table chunks;
-        if (self == 0)
-            chunks.assign(p, Vec(elems, 2.0));
-        if (op == "scatter")
-            (void)co_await comm.scatter(self, 0, std::move(chunks));
-        else
-            (void)co_await comm.scatterv(self, 0, std::move(chunks));
-    } else if (op == "allgather") {
-        (void)co_await comm.allgather(self, std::move(data));
-    } else if (op == "allgatherv") {
-        Vec ragged(static_cast<std::size_t>(elems + self), 1.0);
-        (void)co_await comm.allgatherv(self, std::move(ragged));
-    } else if (op == "alltoall" || op == "alltoallv") {
-        Table rows(p, Vec(elems / 4 + 1, 1.0 * self));
-        if (op == "alltoall")
-            (void)co_await comm.alltoall(self, std::move(rows));
-        else
-            (void)co_await comm.alltoallv(self, std::move(rows));
-    } else if (op == "scan") {
-        (void)co_await comm.scan(self, std::move(data),
-                                 ReduceOp::sum());
-    } else if (op == "reduce_scatter") {
-        Table rows(p, Vec(elems / 4 + 1, 1.0 * self));
-        (void)co_await comm.reduceScatter(self, std::move(rows),
-                                          ReduceOp::sum());
-    } else {
-        TLI_FATAL("unknown op ", op);
-    }
-}
-
-/** Completion time (all ranks finished) of one collective call. */
+/** One timed collective at a das(bw, lat) point (flat wide area). */
 double
 timeOp(const std::string &op, Algorithm alg, double bw_mbs,
        double lat_ms, int clusters, int procs, int elems)
 {
-    sim::Simulation sim;
-    net::Topology topo(clusters, procs);
-    net::Fabric fabric(sim, topo, net::Profile::das(bw_mbs, lat_ms).params());
-    panda::Panda panda(sim, fabric);
-    Communicator comm(panda, alg);
-    const int p = topo.totalRanks();
-    for (Rank r = 0; r < p; ++r) {
-        sim.spawn(invokeOp(comm, op, r, p, elems));
-    }
-    sim.run();
-    return sim.now();
+    return bench::timeCollective(
+        op, alg, net::Profile::das(bw_mbs, lat_ms).params(), clusters,
+        procs, elems);
 }
 
-const std::vector<std::string> allOps = {
-    "barrier",  "bcast",      "gather",   "gatherv",
-    "scatter",  "scatterv",   "allgather", "allgatherv",
-    "alltoall", "alltoallv",  "reduce",   "allreduce",
-    "reduce_scatter", "scan",
-};
+const std::vector<std::string> &allOps = bench::allCollectives();
 
 } // namespace
 

@@ -16,6 +16,7 @@
 
 #include "apps/registry.h"
 #include "bench/bench_util.h"
+#include "bench/collective_timing.h"
 #include "core/metrics.h"
 #include "net/wan_shape.h"
 
@@ -149,6 +150,40 @@ main(int argc, char **argv)
                      ? core::TextTable::num(r.runTime / full_time, 2) +
                            "x"
                      : "-"});
+        }
+        table.print(std::cout);
+        std::printf("\n");
+    }
+
+    // MagPIe's advantage per wide-area shape (the PR 7 ROADMAP
+    // follow-up): the flat algorithms pay a wide-area hop per tree
+    // level, so shapes with a larger diameter should widen the gap
+    // on rooted trees and shrink nothing.
+    std::printf("MagPIe vs flat per wide-area shape (speedup, "
+                "4x8, 10 ms, 1 MByte/s, 1 KByte payload):\n");
+    {
+        const int clusters = 4, procs = 8, elems = 128;
+        std::vector<std::string> head{"operation"};
+        for (net::WanShape::Kind kind : kKinds)
+            head.push_back(net::wanShapeKindName(kind));
+        core::TextTable table(std::move(head));
+        for (const std::string &op : bench::allCollectives()) {
+            std::vector<std::string> row{op};
+            for (net::WanShape::Kind kind : kKinds) {
+                const net::FabricParams params =
+                    net::Profile::das(1.0, 10.0)
+                        .withTopology(shapeFor(kind, clusters))
+                        .params();
+                double flat = bench::timeCollective(
+                    op, magpie::Algorithm::flat, params, clusters,
+                    procs, elems);
+                double mag = bench::timeCollective(
+                    op, magpie::Algorithm::magpie, params, clusters,
+                    procs, elems);
+                row.push_back(core::TextTable::num(flat / mag, 1) +
+                              "x");
+            }
+            table.addRow(std::move(row));
         }
         table.print(std::cout);
         std::printf("\n");

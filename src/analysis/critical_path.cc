@@ -1,0 +1,171 @@
+#include "analysis/critical_path.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/wan_shape.h"
+
+namespace tli::analysis {
+
+namespace {
+
+/** Key of one ordered (src, dst) rank pair in the clamp table. */
+inline std::uint64_t
+pairKey(Rank src, Rank dst)
+{
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           static_cast<std::uint32_t>(dst);
+}
+
+} // namespace
+
+Prediction
+Predictor::replay(const net::FabricParams &params,
+                  bool wan_variable) const
+{
+    const TraceGraph &g = *graph_;
+    const int clusters = g.scenario.clusters;
+    const net::WanShape &shape = params.wanShape;
+
+    // The same link inventory the Fabric constructor builds, with the
+    // same derived parameters (segmentParams, the inbound gateway's
+    // extra local hop). The replay clock is relative to measurement
+    // start, and real links start idle at simulation start — so their
+    // initial horizon sits at -measurementStart, not 0; a horizon of
+    // 0 would make warmup sends queue behind a link that was free.
+    const Affine idle{-g.measurementStart, 0, 0};
+    std::vector<LinkModel> nics(
+        g.ranks, LinkModel{params.local, 0, false, idle});
+    const double lat_coeff =
+        shape.kind() == net::WanShape::Kind::star ? 0.5 : 1.0;
+    std::vector<LinkModel> wan(
+        shape.linkCount(clusters),
+        LinkModel{shape.segmentParams(params.wide),
+                  wan_variable ? lat_coeff : 0, wan_variable, idle});
+    net::LinkParams inbound = params.gateway;
+    inbound.latency += params.local.latency;
+    std::vector<LinkModel> gw_out(
+        clusters, LinkModel{params.gateway, 0, false, idle});
+    std::vector<LinkModel> gw_in(clusters,
+                                 LinkModel{inbound, 0, false, idle});
+
+    std::vector<Affine> clock(g.ranks);
+    // Max arrival over everything delivered to the rank so far: the
+    // horizon a genuinely blocking wait resumes at.
+    std::vector<Affine> pending(g.ranks);
+    std::vector<Affine> arrival(g.messages.size());
+    std::unordered_map<std::uint64_t, Affine> last_delivery;
+
+    // One message through the fabric, starting its NIC transmission
+    // at @p t: the exact link chain Fabric::send walks, including the
+    // TCP-style ordering clamp — unicasts clamp against and update
+    // the (src, dst) horizon; a multicast bundle takes one shared
+    // delivery time clamped against every member.
+    auto route = [&](const TraceGraph::Message &m,
+                     const Affine &t) -> Affine {
+        Affine arr;
+        if (m.loopback) {
+            arr = t;
+            arr.v += params.local.perMessageCost;
+        } else if (!m.inter) {
+            arr = nics[m.src].transmit(t, m.bytes);
+        } else {
+            Affine at_gw = nics[m.src].transmit(t, m.bytes);
+            Affine gw_done =
+                gw_out[m.srcCluster].transmit(at_gw, m.bytes);
+            Affine w = gw_done;
+            shape.forEachHop(clusters, m.srcCluster, m.dstCluster,
+                             [&](std::size_t link) {
+                                 w = wan[link].transmit(w, m.bytes);
+                             });
+            arr = gw_in[m.dstCluster].transmit(w, m.bytes);
+            if (m.dsts.size() == 1) {
+                Affine &last =
+                    last_delivery[pairKey(m.src, m.dsts[0])];
+                if (arr.v < last.v)
+                    arr = last;
+                last = arr;
+            } else {
+                for (Rank d : m.dsts) {
+                    auto it = last_delivery.find(pairKey(m.src, d));
+                    if (it != last_delivery.end() &&
+                        arr.v < it->second.v) {
+                        arr = it->second;
+                    }
+                }
+                for (Rank d : m.dsts)
+                    last_delivery[pairKey(m.src, d)] = arr;
+            }
+        }
+        return arr;
+    };
+
+    // Prime the links with the warmup traffic: the fabric resets its
+    // counters at measurement start, not its link horizons, so setup
+    // traffic still in flight delays the first measured arrivals.
+    // Warmup sends are replayed at their (negative) traced times;
+    // their occupancy stretches with the wide-area parameters like
+    // any other transfer's.
+    for (const TraceGraph::Message &m : g.warmup)
+        route(m, Affine{m.enqueue, 0, 0});
+
+    for (const TraceGraph::Event &e : g.events) {
+        Affine t = clock[e.rank];
+        t.v += e.gap;
+        if (!e.send) {
+            pending[e.rank] =
+                affineMax(pending[e.rank], arrival[e.msg]);
+            // Only a baseline-observed wait lets arrivals gate the
+            // rank; a delivery that arrived under compute is overlap
+            // and must not serialize the timeline. A blocked delivery
+            // gates on its own message's arrival — the arrival that
+            // resumed the waiting coroutine — not on the rank-wide
+            // horizon: ranks hosting several coroutines (a worker
+            // plus a forwarder) would otherwise inherit false
+            // cross-coroutine dependencies.
+            if (e.blocked)
+                t = affineMax(t, arrival[e.msg]);
+            clock[e.rank] = t;
+            continue;
+        }
+        if (e.blocked)
+            t = affineMax(t, pending[e.rank]);
+        clock[e.rank] = t;
+        arrival[e.msg] = route(g.messages[e.msg], t);
+    }
+
+    Affine end;
+    for (Rank r = 0; r < g.ranks; ++r) {
+        Affine t = clock[r];
+        t.v += g.tails[r];
+        end = affineMax(end, t);
+    }
+
+    Prediction p;
+    p.runTimeS = end.v;
+    p.dLat = end.dLat;
+    p.dInvBw = end.dInvBw;
+    p.wanLatencyS = end.dLat * params.wide.latency;
+    p.wanBandwidthS = end.dInvBw / params.wide.bandwidth;
+    return p;
+}
+
+Prediction
+Predictor::predictAt(double bandwidth_mbs, double latency_ms) const
+{
+    core::Scenario s = graph_->scenario;
+    s.allMyrinet = false;
+    s.wanBandwidthMBs = bandwidth_mbs;
+    s.wanLatencyMs = latency_ms;
+    return replay(s.fabricParams(), /*wan_variable=*/true);
+}
+
+Prediction
+Predictor::predictAllMyrinet() const
+{
+    core::Scenario s = graph_->scenario.asAllMyrinet();
+    return replay(s.fabricParams(), /*wan_variable=*/false);
+}
+
+} // namespace tli::analysis

@@ -141,7 +141,7 @@ worker(Run &run, Rank self)
 
     co_await m.comm().barrier(self);
     if (self == 0)
-        run.result.runTime = m.measuredTime();
+        run.result.runTime = m.endMeasurement();
 
     // Verification: reduce the checksum of owned rows.
     double local = 0;

@@ -299,7 +299,7 @@ worker(Run &run, Rank self)
 
     co_await m.comm().barrier(self);
     if (self == 0) {
-        run.runTime = m.measuredTime();
+        run.runTime = m.endMeasurement();
         run.combiner.shutdownForwarders(self);
     }
     ++run.finished;

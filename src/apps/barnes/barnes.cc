@@ -224,7 +224,7 @@ worker(Run &run, Rank self)
 
     co_await m.comm().barrier(self);
     if (self == 0)
-        run.runTime = m.measuredTime();
+        run.runTime = m.endMeasurement();
 
     magpie::Vec contrib{checksum(own)};
     magpie::Vec total = co_await m.comm().reduce(

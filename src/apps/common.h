@@ -112,6 +112,20 @@ class Machine
         return sim_.now() - measureStart_;
     }
 
+    /**
+     * Snapshot the measured run time and mark the measurement end in
+     * the trace. Call where the run time is read off the clock (after
+     * the closing barrier): traffic past this point is verification
+     * and teardown, outside the reported run time.
+     */
+    double
+    endMeasurement()
+    {
+        if (auto *t = sim_.trace())
+            t->onMeasurementEnd(sim_.now());
+        return measuredTime();
+    }
+
     /** Assemble a RunResult from the measured phase. */
     core::RunResult
     finishMeasurement(double checksum, bool verified) const

@@ -143,7 +143,7 @@ worker(Run &run, Rank self)
 
     co_await m.comm().barrier(self);
     if (self == 0)
-        run.runTime = m.measuredTime();
+        run.runTime = m.endMeasurement();
 
     double local = 0;
     for (const Signal &row : block) {

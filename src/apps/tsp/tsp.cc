@@ -153,7 +153,7 @@ worker(Run &run, Rank self)
 
     co_await m.comm().barrier(self);
     if (self == 0)
-        run.runTime = m.measuredTime();
+        run.runTime = m.endMeasurement();
 
     magpie::Vec contrib{static_cast<double>(best),
                         static_cast<double>(nodes)};

@@ -243,7 +243,7 @@ worker(Run &run, Rank self)
 
     co_await m.comm().barrier(self);
     if (self == 0)
-        run.runTime = m.measuredTime();
+        run.runTime = m.endMeasurement();
 
     Vec contrib{checksum(block)};
     Vec total = co_await m.comm().reduce(self, 0, std::move(contrib),

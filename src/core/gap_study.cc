@@ -108,6 +108,35 @@ GapStudy::speedupSurface(std::vector<double> bandwidths_mbs,
 }
 
 Surface
+GapStudy::runTimeSurface(std::vector<double> bandwidths_mbs,
+                         std::vector<double> latencies_ms,
+                         double *all_myrinet_s) const
+{
+    if (bandwidths_mbs.empty())
+        bandwidths_mbs = net::figureBandwidthsMBs();
+    if (latencies_ms.empty())
+        latencies_ms = net::figureLatenciesMs();
+
+    std::vector<RunResult> results =
+        submit(gridJobs(bandwidths_mbs, latencies_ms));
+    if (all_myrinet_s)
+        *all_myrinet_s = results[0].runTime;
+
+    Surface s;
+    s.title = variant_.fullName() + " run time (s)";
+    s.bandwidthsMBs = bandwidths_mbs;
+    s.latenciesMs = latencies_ms;
+    s.values.resize(latencies_ms.size());
+    std::size_t next = 1;
+    for (std::size_t i = 0; i < latencies_ms.size(); ++i) {
+        s.values[i].resize(bandwidths_mbs.size());
+        for (std::size_t j = 0; j < bandwidths_mbs.size(); ++j)
+            s.values[i][j] = results[next++].runTime;
+    }
+    return s;
+}
+
+Surface
 GapStudy::commTimeSurface(std::vector<double> bandwidths_mbs,
                           std::vector<double> latencies_ms) const
 {

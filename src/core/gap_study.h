@@ -62,6 +62,17 @@ class GapStudy
     Surface commTimeSurface(std::vector<double> bandwidths_mbs,
                             std::vector<double> latencies_ms) const;
 
+    /**
+     * Measured run time (seconds) per grid point — the surface the
+     * analytical predictor is validated against. The batch includes
+     * the all-Myrinet reference (one extra run, cached like any
+     * other); its run time is stored through @p all_myrinet_s when
+     * non-null.
+     */
+    Surface runTimeSurface(std::vector<double> bandwidths_mbs,
+                           std::vector<double> latencies_ms,
+                           double *all_myrinet_s = nullptr) const;
+
     const AppVariant &variant() const { return variant_; }
     const Scenario &base() const { return base_; }
 

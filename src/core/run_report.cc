@@ -82,19 +82,9 @@ linkStats(JsonWriter &w, const net::LinkStats &s)
 } // namespace
 
 void
-writeRunReport(std::ostream &os, const std::string &label,
-               const Scenario &scenario, const RunResult &result,
-               const ReportSink *trace, std::int64_t peak_rss_bytes)
+writeScenarioJson(JsonWriter &w, const Scenario &scenario)
 {
-    const net::FabricStats &t = result.traffic;
-    JsonWriter w(os);
     w.beginObject();
-    w.field("schema", "tli-run-report-v1");
-    w.field("label", label);
-    if (peak_rss_bytes >= 0)
-        w.field("peak_rss_bytes", peak_rss_bytes);
-
-    w.key("scenario").beginObject();
     w.field("description", scenario.describe());
     w.field("clusters", scenario.clusters);
     w.field("procs_per_cluster", scenario.procsPerCluster);
@@ -117,6 +107,23 @@ writeRunReport(std::ostream &os, const std::string &label,
     w.field("problem_scale", scenario.problemScale);
     w.field("seed", scenario.seed);
     w.endObject();
+}
+
+void
+writeRunReport(std::ostream &os, const std::string &label,
+               const Scenario &scenario, const RunResult &result,
+               const ReportSink *trace, std::int64_t peak_rss_bytes)
+{
+    const net::FabricStats &t = result.traffic;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "tli-run-report-v1");
+    w.field("label", label);
+    if (peak_rss_bytes >= 0)
+        w.field("peak_rss_bytes", peak_rss_bytes);
+
+    w.key("scenario");
+    writeScenarioJson(w, scenario);
 
     w.key("result").beginObject();
     w.field("run_time_s", result.runTime);

@@ -20,6 +20,7 @@
 
 namespace tli::core {
 
+class JsonWriter;
 struct Scenario;
 struct RunResult;
 
@@ -110,6 +111,15 @@ class ReportSink : public sim::TraceSink
     Time wanTransit_ = 0;
     Time measurementStart_ = 0;
 };
+
+/**
+ * Write one scenario as a JSON object (the "scenario" block every
+ * tli-* document shares): description plus every semantic knob, with
+ * the conditional fields (wan_dims) appended only when set so
+ * existing documents stay byte-identical. The caller opens the key;
+ * this writes the object value.
+ */
+void writeScenarioJson(JsonWriter &w, const Scenario &scenario);
 
 /**
  * Write the stable machine-readable report for one application run:

@@ -153,10 +153,12 @@ Fabric::multicastLocal(Rank src, const std::vector<Rank> &dsts,
     intra_.bytes += bytes;
     if (auto *t = sim_.trace()) {
         const ClusterId sc = topo_.clusterOf(src);
-        t->onMessage({traceSeq_++, src, dsts.front(),
-                      static_cast<int>(dsts.size()), bytes, false,
-                      false, sc, sc, now, arrival, arrival, arrival,
-                      arrival});
+        sim::MessageTrace m{traceSeq_++, src, dsts.front(),
+                            static_cast<int>(dsts.size()), bytes,
+                            false, false, sc, sc, now, arrival,
+                            arrival, arrival, arrival};
+        m.fanoutDsts = dsts.data();
+        t->onMessage(m);
     }
     // Share one copy of the handler: the per-destination events then
     // capture (shared_ptr, Rank), which stays inside EventFn's inline
@@ -191,10 +193,12 @@ Fabric::multicastToCluster(Rank src, ClusterId dc,
         intra_.messages += 1;
         intra_.bytes += bytes;
         if (auto *t = sim_.trace()) {
-            t->onMessage({traceSeq_++, src, dsts.front(),
-                          static_cast<int>(dsts.size()), bytes, true,
-                          true, sc, dc, now, at_gateway, gw_done,
-                          gw_done, gw_done});
+            sim::MessageTrace m{traceSeq_++, src, dsts.front(),
+                                static_cast<int>(dsts.size()), bytes,
+                                true, true, sc, dc, now, at_gateway,
+                                gw_done, gw_done, gw_done};
+            m.fanoutDsts = dsts.data();
+            t->onMessage(m);
         }
         return;
     }
@@ -217,10 +221,12 @@ Fabric::multicastToCluster(Rank src, ClusterId dc,
     per.messages += 1;
     per.bytes += bytes;
     if (auto *t = sim_.trace()) {
-        t->onMessage({traceSeq_++, src, dsts.front(),
-                      static_cast<int>(dsts.size()), bytes, true,
-                      false, sc, dc, now, at_gateway, gw_done,
-                      at_remote_gw, arrival});
+        sim::MessageTrace m{traceSeq_++, src, dsts.front(),
+                            static_cast<int>(dsts.size()), bytes,
+                            true, false, sc, dc, now, at_gateway,
+                            gw_done, at_remote_gw, arrival};
+        m.fanoutDsts = dsts.data();
+        t->onMessage(m);
     }
 
     auto handler =

@@ -138,4 +138,10 @@ ChromeTraceSink::onMeasurementStart(Time now)
     event("measurement-start", "marker", 'i', now, 0, 0, "");
 }
 
+void
+ChromeTraceSink::onMeasurementEnd(Time now)
+{
+    event("measurement-end", "marker", 'i', now, 0, 0, "");
+}
+
 } // namespace tli::sim

@@ -59,6 +59,16 @@ struct MessageTrace
     Time gatewayDone = 0; ///< source gateway protocol stack done
     Time wanDone = 0;     ///< reached the destination gateway
     Time deliver = 0;     ///< delivered (after jitter/order clamp)
+
+    /**
+     * The full destination list of a multicast (@c fanout entries),
+     * or null for unicasts (the single destination is @c dst). Not
+     * owned: the pointer is valid only for the duration of the
+     * onMessage() callback — sinks that need the fan-out must copy
+     * it. Appended after the positional stamp fields so existing
+     * brace-initialized emission sites stay untouched.
+     */
+    const Rank *fanoutDsts = nullptr;
 };
 
 /** One named span of one rank's time (compute, reduce, steal, ...). */
@@ -96,6 +106,13 @@ class TraceSink
      * totals match the fabric's post-reset counters exactly.
      */
     virtual void onMeasurementStart(Time now) { (void)now; }
+
+    /**
+     * The measured phase ended at @p now (the application assembled
+     * its RunResult): events after this are teardown/verification
+     * traffic outside the reported run time.
+     */
+    virtual void onMeasurementEnd(Time now) { (void)now; }
 };
 
 /**
@@ -167,6 +184,13 @@ class TeeSink : public TraceSink
             s->onMeasurementStart(now);
     }
 
+    void
+    onMeasurementEnd(Time now) override
+    {
+        for (TraceSink *s : sinks_)
+            s->onMeasurementEnd(now);
+    }
+
   private:
     std::vector<TraceSink *> sinks_;
 };
@@ -193,6 +217,7 @@ class ChromeTraceSink : public TraceSink
     void onMessage(const MessageTrace &m) override;
     void onPhase(const PhaseTrace &p) override;
     void onMeasurementStart(Time now) override;
+    void onMeasurementEnd(Time now) override;
 
     /** Terminate the JSON array; further events are rejected. */
     void close();

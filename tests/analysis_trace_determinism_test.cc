@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The two determinism contracts the prediction methodology rests on:
+ * attaching a trace sink leaves a run bit-identical to an untraced
+ * one, and the MessageTrace::id stream of a traced scenario is
+ * bit-identical whether the engine runs its batch on one worker or
+ * four.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/trace_graph.h"
+#include "apps/registry.h"
+#include "exec/engine.h"
+#include "sim/trace.h"
+
+namespace tli::analysis {
+namespace {
+
+core::Scenario
+tinyScenario()
+{
+    core::Scenario s;
+    s.clusters = 2;
+    s.procsPerCluster = 2;
+    s.problemScale = 0.1;
+    return s;
+}
+
+void
+expectSameResult(const core::RunResult &a, const core::RunResult &b)
+{
+    // Bit-exact on purpose: tracing must not consume randomness,
+    // schedule events, or otherwise perturb the simulation.
+    EXPECT_EQ(a.runTime, b.runTime);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.verified, b.verified);
+    EXPECT_EQ(a.computePerRank, b.computePerRank);
+    EXPECT_EQ(a.traffic.intra.messages, b.traffic.intra.messages);
+    EXPECT_EQ(a.traffic.intra.bytes, b.traffic.intra.bytes);
+    EXPECT_EQ(a.traffic.intra.busyTime, b.traffic.intra.busyTime);
+    EXPECT_EQ(a.traffic.inter.messages, b.traffic.inter.messages);
+    EXPECT_EQ(a.traffic.inter.bytes, b.traffic.inter.bytes);
+    EXPECT_EQ(a.traffic.inter.busyTime, b.traffic.inter.busyTime);
+}
+
+TEST(TraceDeterminism, TracedRunIsBitIdenticalToUntraced)
+{
+    for (const char *app : {"fft", "water"}) {
+        core::AppVariant v = apps::findVariant(
+            app, std::string(app) == "fft" ? "unopt" : "opt");
+        core::Scenario s = tinyScenario();
+        core::RunResult untraced = v.run(s);
+
+        GraphTraceSink sink;
+        core::Scenario traced = s;
+        traced.trace = &sink;
+        core::RunResult with_sink = v.run(traced);
+
+        expectSameResult(untraced, with_sink);
+        EXPECT_FALSE(sink.messages().empty());
+    }
+}
+
+/** Records only the message-id stream, in emission order. */
+class IdSink : public sim::TraceSink
+{
+  public:
+    void
+    onMessage(const sim::MessageTrace &m) override
+    {
+        ids.push_back(m.id);
+    }
+
+    std::vector<std::uint64_t> ids;
+};
+
+TEST(TraceDeterminism, IdStreamIsIdenticalAcrossEngineWorkerCounts)
+{
+    // A batch with several untraced jobs around the traced one, so a
+    // multi-worker engine actually schedules work concurrently.
+    auto batch = [](sim::TraceSink *sink) {
+        std::vector<core::ExperimentJob> jobs;
+        for (const char *app : {"fft", "asp", "water"}) {
+            core::ExperimentJob job;
+            job.variant = apps::findVariant(
+                app, std::string(app) == "fft" ? "unopt" : "opt");
+            job.scenario = tinyScenario();
+            jobs.push_back(std::move(job));
+        }
+        jobs[1].scenario.trace = sink;
+        return jobs;
+    };
+
+    IdSink serial_sink;
+    exec::Engine serial({.jobs = 1});
+    std::vector<core::RunResult> serial_results =
+        serial.run(batch(&serial_sink));
+
+    IdSink parallel_sink;
+    exec::Engine parallel({.jobs = 4});
+    std::vector<core::RunResult> parallel_results =
+        parallel.run(batch(&parallel_sink));
+
+    ASSERT_FALSE(serial_sink.ids.empty());
+    EXPECT_EQ(serial_sink.ids, parallel_sink.ids);
+    ASSERT_EQ(serial_results.size(), parallel_results.size());
+    for (std::size_t i = 0; i < serial_results.size(); ++i)
+        expectSameResult(serial_results[i], parallel_results[i]);
+}
+
+} // namespace
+} // namespace tli::analysis

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The trace-to-graph front end: GraphTraceSink recording, the
+ * warmup/measured split, the measurement-end clip, and the validity
+ * limits TraceGraph::build enforces on the traced scenario.
+ */
+
+#include "analysis/trace_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/registry.h"
+
+namespace tli::analysis {
+namespace {
+
+core::Scenario
+tinyScenario()
+{
+    core::Scenario s;
+    s.clusters = 2;
+    s.procsPerCluster = 2;
+    s.problemScale = 0.25;
+    return s;
+}
+
+TraceGraph
+tracedGraph(const char *app, const char *variant,
+            const core::Scenario &s, core::RunResult *out = nullptr)
+{
+    GraphTraceSink sink;
+    core::Scenario traced = s;
+    traced.trace = &sink;
+    core::RunResult run = apps::findVariant(app, variant).run(traced);
+    EXPECT_TRUE(run.verified);
+    if (out)
+        *out = run;
+    return TraceGraph::build(sink, s);
+}
+
+TEST(TraceGraph, BaselineMatchesMeasuredRunTime)
+{
+    core::RunResult run;
+    TraceGraph g = tracedGraph("fft", "unopt", tinyScenario(), &run);
+    // The graph's end-to-end time is the clock the application read:
+    // measurement start to measurement end, teardown excluded.
+    EXPECT_DOUBLE_EQ(g.baselineRunTime, run.runTime);
+    EXPECT_GT(g.baselineRunTime, 0.0);
+}
+
+TEST(TraceGraph, SplitsWarmupFromMeasuredTraffic)
+{
+    TraceGraph g = tracedGraph("fft", "unopt", tinyScenario());
+    EXPECT_FALSE(g.warmup.empty());
+    EXPECT_FALSE(g.messages.empty());
+    EXPECT_GT(g.interMessages, 0u);
+    // Warmup times are relative to measurement start: enqueues from
+    // before it are non-positive.
+    for (const TraceGraph::Message &m : g.warmup)
+        EXPECT_LE(m.enqueue, 0.0);
+}
+
+TEST(TraceGraph, EventsStayInsideTheMeasuredWindow)
+{
+    TraceGraph g = tracedGraph("water", "opt", tinyScenario());
+    ASSERT_FALSE(g.events.empty());
+    Time prev = 0;
+    for (const TraceGraph::Event &e : g.events) {
+        // Global order is by baseline time; verification traffic
+        // after the measurement end must have been clipped.
+        EXPECT_GE(e.when, prev);
+        EXPECT_LE(e.when, g.baselineRunTime + 1e-12);
+        EXPECT_GE(e.gap, 0.0);
+        EXPECT_LT(e.msg, g.messages.size());
+        EXPECT_GE(e.rank, 0);
+        EXPECT_LT(e.rank, g.ranks);
+        prev = e.when;
+    }
+}
+
+TEST(TraceGraph, ComputeTotalsCoverTheMeasuredWindowOnly)
+{
+    core::RunResult run;
+    TraceGraph g = tracedGraph("fft", "unopt", tinyScenario(), &run);
+    EXPECT_GT(g.computeSpanCount, 0u);
+    EXPECT_GT(g.computeSeconds, 0.0);
+    // Total charged compute cannot exceed ranks x wall time.
+    EXPECT_LE(g.computeSeconds,
+              g.ranks * g.baselineRunTime * (1 + 1e-9));
+}
+
+TEST(TraceGraph, RejectsUntraceableScenarios)
+{
+    core::Scenario s = tinyScenario();
+    EXPECT_TRUE(TraceGraph::validityError(s).empty());
+
+    core::Scenario jittered = s;
+    jittered.wanJitterFraction = 0.1;
+    EXPECT_FALSE(TraceGraph::validityError(jittered).empty());
+
+    core::Scenario myrinet = s.asAllMyrinet();
+    EXPECT_FALSE(TraceGraph::validityError(myrinet).empty());
+}
+
+TEST(GraphTraceSink, RecordsMeasurementWindow)
+{
+    GraphTraceSink sink;
+    core::Scenario s = tinyScenario();
+    core::Scenario traced = s;
+    traced.trace = &sink;
+    apps::findVariant("fft", "unopt").run(traced);
+
+    ASSERT_EQ(sink.runs().size(), 1u);
+    EXPECT_GT(sink.measurementStart(), 0.0);
+    EXPECT_GT(sink.measurementEnd(), sink.measurementStart());
+    EXPECT_GT(sink.measuredBegin(), 0u);
+    EXPECT_LT(sink.measuredBegin(), sink.messages().size());
+    EXPECT_EQ(sink.droppedMessages(), 0u);
+
+    // Message ids are the fabric's injection sequence: strictly
+    // increasing through the whole stream.
+    for (std::size_t i = 1; i < sink.messages().size(); ++i)
+        EXPECT_GT(sink.messages()[i].id, sink.messages()[i - 1].id);
+}
+
+} // namespace
+} // namespace tli::analysis

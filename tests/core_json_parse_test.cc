@@ -108,6 +108,35 @@ TEST(JsonRoundTrip, FullPrecisionDoublesAreBitIdentical)
     }
 }
 
+TEST(JsonRoundTrip, NonFiniteDoublesBecomeNull)
+{
+    // Prediction error ratios can divide by ~0 cells; the resulting
+    // inf/nan must not poison the document with tokens no strict
+    // parser accepts.
+    const double values[] = {
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN(),
+        1.0,
+    };
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginArray();
+        for (double v : values)
+            w.value(v);
+        w.endArray();
+    }
+    EXPECT_EQ(os.str().find("inf"), std::string::npos);
+    EXPECT_EQ(os.str().find("nan"), std::string::npos);
+    JsonValue doc = parsed(os.str());
+    ASSERT_EQ(doc.size(), std::size(values));
+    EXPECT_TRUE(doc[0].isNull());
+    EXPECT_TRUE(doc[1].isNull());
+    EXPECT_TRUE(doc[2].isNull());
+    EXPECT_DOUBLE_EQ(doc[3].asDouble(), 1.0);
+}
+
 TEST(JsonRoundTrip, WriterDocumentParses)
 {
     std::ostringstream os;

@@ -32,7 +32,9 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/sensitivity.h"
 #include "apps/registry.h"
+#include "core/gap_study.h"
 #include "core/json.h"
 #include "exec/engine.h"
 #include "exec/result_cache.h"
@@ -387,6 +389,55 @@ measureScaling(bool full)
     return rows;
 }
 
+struct PredictionTimings
+{
+    std::size_t cells = 0;
+    double analysisSeconds = 0; ///< traced run + graph + replay
+    double sweepSeconds = 0;    ///< the same grid through the DES
+    double maxAbsRelError = 0;
+};
+
+/**
+ * Analysis-vs-sweep wall clock: one traced FFT run replayed over the
+ * paper's full bandwidth x latency grid against simulating every
+ * cell (serial engine, no cache — the honest cost a cold sweep
+ * pays). The full grid is the point: the analysis pays one traced
+ * run regardless of grid size, so the speedup is what prediction
+ * actually buys over the sweep it replaces. Single-shot rather than
+ * best-of: both sides are dominated by whole simulations.
+ */
+PredictionTimings
+measurePrediction(double scale)
+{
+    PredictionTimings t;
+    core::AppVariant variant = apps::findVariant("fft", "unopt");
+    core::Scenario scenario =
+        core::ScenarioBuilder().problemScale(scale).build();
+    const std::vector<double> bws = net::figureBandwidthsMBs();
+    const std::vector<double> lats = net::figureLatenciesMs();
+    t.cells = bws.size() * lats.size();
+
+    auto t0 = std::chrono::steady_clock::now();
+    analysis::GraphTraceSink sink;
+    core::Scenario traced = scenario;
+    traced.trace = &sink;
+    (void)variant.run(traced);
+    analysis::TraceGraph graph =
+        analysis::TraceGraph::build(sink, scenario);
+    analysis::PredictionStudy study =
+        analysis::predictStudy(graph, bws, lats);
+    t.analysisSeconds = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    core::GapStudy des(variant, scenario);
+    core::Surface simulated = des.runTimeSurface(bws, lats);
+    t.sweepSeconds = secondsSince(t0);
+    t.maxAbsRelError =
+        analysis::compareToSimulated(study.runTimeS, simulated)
+            .maxAbsRelError;
+    return t;
+}
+
 } // namespace
 
 int
@@ -446,6 +497,10 @@ main(int argc, char **argv)
     SweepTimings sweep = measureSweep(reps <= 2 ? 0.3 : 1.0, reps);
     std::fprintf(stderr, "measuring scaling curve...\n");
     std::vector<ScaleRow> scaling = measureScaling(reps > 2);
+    std::fprintf(stderr,
+                 "measuring analytical prediction vs DES sweep...\n");
+    PredictionTimings pred =
+        measurePrediction(reps <= 2 ? 0.25 : 0.5);
     const std::int64_t rss = exec::peakRssBytes();
 
     // A parallel "speedup" measured with fewer hardware cores than
@@ -464,7 +519,7 @@ main(int argc, char **argv)
     {
         core::JsonWriter w(f);
         w.beginObject();
-        w.field("schema", 3);
+        w.field("schema", 4);
         w.field("label", label);
         w.key("event_queue").beginObject();
         w.field("workload_events", queue_events);
@@ -525,6 +580,17 @@ main(int argc, char **argv)
             w.endObject();
         }
         w.endArray();
+        w.key("prediction").beginObject();
+        w.field("grid_cells",
+                static_cast<std::int64_t>(pred.cells));
+        w.field("analysis_seconds", pred.analysisSeconds);
+        w.field("des_sweep_seconds", pred.sweepSeconds);
+        w.field("speedup", pred.analysisSeconds > 0
+                               ? pred.sweepSeconds /
+                                     pred.analysisSeconds
+                               : 0.0);
+        w.field("max_abs_rel_error", pred.maxAbsRelError);
+        w.endObject();
         w.field("peak_rss_bytes", rss);
         w.endObject();
     }
@@ -572,6 +638,13 @@ main(int argc, char **argv)
                         (1024.0 * 1024.0),
                     row.isolated ? "" : " (not isolated)");
     }
+    std::printf("prediction (%zu cells): %.3fs analysis vs %.3fs DES "
+                "sweep (%.1fx, max err %.2f%%)\n",
+                pred.cells, pred.analysisSeconds, pred.sweepSeconds,
+                pred.analysisSeconds > 0
+                    ? pred.sweepSeconds / pred.analysisSeconds
+                    : 0.0,
+                100 * pred.maxAbsRelError);
     std::printf("peak RSS:         %11lld bytes\n",
                 static_cast<long long>(rss));
     std::printf("wrote %s\n", out.c_str());
