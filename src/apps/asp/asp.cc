@@ -1,6 +1,7 @@
 #include "apps/asp/asp.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <memory>
@@ -40,7 +41,8 @@ struct Run
 
     double expectedChecksum = 0;
     double checksumAccum = 0;
-    int finished = 0;
+    /** Bumped by workers on every shard — atomic under --sim-threads. */
+    std::atomic<int> finished{0};
     core::RunResult result;
 
     Run(Machine &m, const Config &c, SequencerPolicy pol)
@@ -156,7 +158,7 @@ worker(Run &run, Rank self)
         run.checksumAccum = total[0];
         run.sequencer.shutdown(self);
     }
-    ++run.finished;
+    run.finished.fetch_add(1, std::memory_order_relaxed);
 }
 
 /** Memoized sequential reference results keyed by (n, seed). */
@@ -258,10 +260,10 @@ run(const core::Scenario &scenario, SequencerPolicy policy,
     state.expectedChecksum = checksum(referenceSolution(cfg));
 
     for (Rank r = 0; r < p; ++r)
-        machine.sim().spawn(worker(state, r));
+        machine.spawnWorker(r, worker(state, r));
     machine.sim().run();
     TLI_ASSERT(state.finished == p, "ASP deadlock: only ",
-               state.finished, " of ", p, " workers finished");
+               state.finished.load(), " of ", p, " workers finished");
 
     bool ok = closeEnough(state.checksumAccum, state.expectedChecksum);
     core::RunResult r = machine.finishMeasurement(state.checksumAccum,

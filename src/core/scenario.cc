@@ -130,6 +130,9 @@ Scenario::validate() const
            << wanOutageDurationS << " s)";
     } else if (!(problemScale > 0)) {
         os << "problem scale must be > 0, got " << problemScale;
+    } else if (simThreads < 0) {
+        os << "sim-threads must be >= 0 (0 = auto), got "
+           << simThreads;
     }
     return os.str();
 }

@@ -88,6 +88,18 @@ struct Scenario
      */
     sim::TraceSink *trace = nullptr;
 
+    /**
+     * Worker threads for the partitioned parallel engine (one shard
+     * per cluster, conservative WAN-latency lookahead; see
+     * sim/partition.h). 1 = the sequential engine, 0 = one thread per
+     * hardware core, N caps at the cluster count. Like @c trace this
+     * is an execution knob, not a semantic one: results are
+     * bit-identical at any value, so fingerprint() and operator==
+     * ignore it and cached results are shared across thread counts.
+     * Traced runs demote to 1 (the exec engine's shared-sink rule).
+     */
+    int simThreads = 1;
+
     int totalRanks() const { return clusters * procsPerCluster; }
 
     /** Whether any wide-area impairment knob is set. */
@@ -283,6 +295,14 @@ class ScenarioBuilder
     trace(sim::TraceSink *sink)
     {
         s_.trace = sink;
+        return *this;
+    }
+    /** Partitioned-engine worker threads (not a semantic knob):
+     *  1 = sequential, 0 = auto, N caps at the cluster count. */
+    ScenarioBuilder &
+    simThreads(int threads)
+    {
+        s_.simThreads = threads;
         return *this;
     }
 

@@ -9,6 +9,7 @@
 #ifndef TWOLAYER_CORE_TWO_LEVEL_REDUCE_H_
 #define TWOLAYER_CORE_TWO_LEVEL_REDUCE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -71,7 +72,11 @@ class TwoLevelReducer
     void shutdown(Rank self);
 
     /** Combined partials that crossed between clusters. */
-    std::uint64_t partialsSent() const { return partialsSent_; }
+    std::uint64_t
+    partialsSent() const
+    {
+        return partialsSent_.load(std::memory_order_relaxed);
+    }
 
   private:
     struct Contribution
@@ -122,7 +127,9 @@ class TwoLevelReducer
      *  an earlier collect() was still in progress. */
     std::vector<std::map<std::int64_t, std::vector<magpie::Vec>>>
         earlyPartials_;
-    std::uint64_t partialsSent_ = 0;
+    // Every cluster's combiner servers bump this; cross-shard under
+    // the partitioned engine — relaxed atomic, read after run() only.
+    std::atomic<std::uint64_t> partialsSent_{0};
 };
 
 } // namespace tli::core

@@ -13,6 +13,7 @@
 #ifndef TWOLAYER_CORE_WORK_QUEUE_H_
 #define TWOLAYER_CORE_WORK_QUEUE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -59,7 +60,7 @@ class CentralWorkQueue
     void
     start()
     {
-        panda_.simulation().spawn(server());
+        panda_.spawnAt(host_, server());
     }
 
     /** Fetch the next job; nullopt when the queue is exhausted. */
@@ -163,9 +164,9 @@ class DistributedWorkQueue
         const auto &topo = panda_.topology();
         if (topo.firstRankIn(topo.clusterOf(rank)) != rank)
             return;
-        panda_.simulation().spawn(getServer(rank));
-        panda_.simulation().spawn(stealServer(rank));
-        panda_.simulation().spawn(fillServer(rank));
+        panda_.spawnAt(rank, getServer(rank));
+        panda_.spawnAt(rank, stealServer(rank));
+        panda_.spawnAt(rank, fillServer(rank));
     }
 
     /** Fetch a job from the local cluster queue (stealing if needed);
@@ -193,8 +194,16 @@ class DistributedWorkQueue
         }
     }
 
-    std::uint64_t stealsAttempted() const { return stealsAttempted_; }
-    std::uint64_t stealsSucceeded() const { return stealsSucceeded_; }
+    std::uint64_t
+    stealsAttempted() const
+    {
+        return stealsAttempted_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    stealsSucceeded() const
+    {
+        return stealsSucceeded_.load(std::memory_order_relaxed);
+    }
 
   private:
     int getTag() const { return tagBase_; }
@@ -218,14 +227,16 @@ class DistributedWorkQueue
                 for (int off = 1; off < topo.clusterCount(); ++off) {
                     ClusterId victim =
                         (mine + off) % topo.clusterCount();
-                    ++stealsAttempted_;
+                    stealsAttempted_.fetch_add(
+                        1, std::memory_order_relaxed);
                     panda::Message loot = co_await panda_.rpc(
                         host, topo.firstRankIn(victim), stealTag(), 8,
                         0);
                     auto jobs =
                         loot.template take<std::vector<Job>>();
                     if (!jobs.empty()) {
-                        ++stealsSucceeded_;
+                        stealsSucceeded_.fetch_add(
+                            1, std::memory_order_relaxed);
                         for (Job &j : jobs)
                             queue.push_back(std::move(j));
                         break;
@@ -284,8 +295,11 @@ class DistributedWorkQueue
     int tagBase_;
     std::uint64_t jobBytes_;
     std::vector<std::deque<Job>> queues_;
-    std::uint64_t stealsAttempted_ = 0;
-    std::uint64_t stealsSucceeded_ = 0;
+    // Every cluster's get-server bumps these, so under the partitioned
+    // engine they cross shards; relaxed atomics keep the totals exact
+    // without ordering cost (they are read only after run()).
+    std::atomic<std::uint64_t> stealsAttempted_{0};
+    std::atomic<std::uint64_t> stealsSucceeded_{0};
 };
 
 } // namespace tli::core

@@ -1,9 +1,11 @@
 #include "exec/scale_workload.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "exec/rss.h"
 #include "net/config.h"
@@ -57,6 +59,22 @@ runScaleWorkload(const ScaleConfig &config)
     net::Fabric fabric(sim, topo, profile.params());
     panda::Panda panda(sim, fabric);
 
+    // Partitioned execution: one shard per cluster, demoted to the
+    // sequential engine exactly like apps::Machine when only one
+    // cluster exists or impairments erase the WAN lookahead.
+    const int threads =
+        std::min(config.simThreads, config.clusters);
+    if (threads > 1 && fabric.partitionLookahead() > 0) {
+        sim::PartitionConfig pc;
+        pc.shards = config.clusters;
+        pc.threads = threads;
+        pc.lookahead = fabric.partitionLookahead();
+        pc.stage = &fabric;
+        fabric.enablePartition(pc.shards);
+        panda.enablePartition();
+        sim.configurePartition(pc);
+    }
+
     ScaleResult out;
     out.ranks = R;
 
@@ -70,15 +88,23 @@ runScaleWorkload(const ScaleConfig &config)
     };
     auto crossDst = [R, P](int r) { return (r + P) % R; };
 
+    // Per-rank accumulators: each process writes only its own slot,
+    // so shard threads never share a counter, and folding the slots
+    // in rank order afterwards gives one digest that is independent
+    // of the host thread count.
+    std::vector<std::uint64_t> sentBy(R, 0);
+    std::vector<std::uint64_t> deliveredBy(R, 0);
+    std::vector<std::uint64_t> digestBy(R, fnvOffset);
+
     auto process = [&](int r) -> sim::Task<void> {
         for (int round = 0; round < config.rounds; ++round) {
             if (P >= 2) {
                 panda.send(r, localDst(r), 0, payloadBytes, round);
-                ++out.sent;
+                ++sentBy[r];
             }
             if (r % crossStride == round % crossStride) {
                 panda.send(r, crossDst(r), 0, payloadBytes, round);
-                ++out.sent;
+                ++sentBy[r];
             }
             int expected = P >= 2 ? 1 : 0;
             // crossDst is a bijection on ranks, so in-degree is 0/1:
@@ -88,21 +114,24 @@ runScaleWorkload(const ScaleConfig &config)
                 ++expected;
             for (int k = 0; k < expected; ++k) {
                 panda::Message m = co_await panda.recv(r, 0);
-                ++out.delivered;
-                out.digest = fnv1a(out.digest,
-                                   static_cast<std::uint64_t>(m.src));
-                out.digest = fnv1a(out.digest,
-                                   static_cast<std::uint64_t>(r));
-                out.digest = fnv1a(out.digest,
-                                   static_cast<std::uint64_t>(
-                                       m.as<int>()));
+                ++deliveredBy[r];
+                digestBy[r] = fnv1a(digestBy[r],
+                                    static_cast<std::uint64_t>(
+                                        m.src));
+                digestBy[r] = fnv1a(digestBy[r],
+                                    static_cast<std::uint64_t>(r));
+                digestBy[r] = fnv1a(digestBy[r],
+                                    static_cast<std::uint64_t>(
+                                        m.as<int>()));
             }
         }
     };
 
-    out.digest = fnvOffset;
     for (int r = 0; r < R; ++r)
-        sim.spawn(process(r));
+        panda.spawnAt(r, process(r));
+    // The exchange has no setup phase: switch a partitioned run to
+    // parallel windows from the first event (no-op when sequential).
+    sim.requestPartitionWindows();
 
     const auto t0 = std::chrono::steady_clock::now();
     out.events = sim.run();
@@ -110,6 +139,13 @@ runScaleWorkload(const ScaleConfig &config)
                           std::chrono::steady_clock::now() - t0)
                           .count();
     out.simTime = sim.now();
+
+    out.digest = fnvOffset;
+    for (int r = 0; r < R; ++r) {
+        out.sent += sentBy[r];
+        out.delivered += deliveredBy[r];
+        out.digest = fnv1a(out.digest, digestBy[r]);
+    }
 
     const net::FabricStats stats = fabric.stats();
     out.activePairs = stats.orderedPairs;
@@ -130,9 +166,9 @@ scaleChildMain(int argc, char **argv)
         return std::nullopt;
 
     ScaleConfig config;
-    if (std::sscanf(spec, "%d:%d:%d:%lf", &config.clusters,
+    if (std::sscanf(spec, "%d:%d:%d:%lf:%d", &config.clusters,
                     &config.procsPerCluster, &config.rounds,
-                    &config.wanLossRate) != 4)
+                    &config.wanLossRate, &config.simThreads) != 5)
         return 2;
 
     const ScaleResult r = runScaleWorkload(config);
@@ -162,9 +198,10 @@ runScaleChild(const ScaleConfig &config)
         return out;
 
     char spec[128];
-    std::snprintf(spec, sizeof(spec), "%s%d:%d:%d:%.17g", childFlag,
-                  config.clusters, config.procsPerCluster,
-                  config.rounds, config.wanLossRate);
+    std::snprintf(spec, sizeof(spec), "%s%d:%d:%d:%.17g:%d",
+                  childFlag, config.clusters, config.procsPerCluster,
+                  config.rounds, config.wanLossRate,
+                  config.simThreads);
 
     const pid_t pid = fork();
     if (pid < 0) {

@@ -6,15 +6,12 @@
 namespace tli::panda {
 
 Reliable::Reliable(sim::Simulation &sim, net::Fabric &fabric)
-    : sim_(sim), fabric_(fabric)
+    : sim_(sim), fabric_(fabric),
+      sendByRank_(
+          static_cast<std::size_t>(fabric.topology().totalRanks())),
+      recvByRank_(
+          static_cast<std::size_t>(fabric.topology().totalRanks()))
 {
-}
-
-Reliable::PairState &
-Reliable::pair(Rank src, Rank dst)
-{
-    const std::uint64_t ranks = fabric_.topology().totalRanks();
-    return pairs_[static_cast<std::uint64_t>(src) * ranks + dst];
 }
 
 Time
@@ -49,13 +46,13 @@ Reliable::send(Rank src, Rank dst, std::uint64_t wire_bytes,
         fabric_.send(src, dst, wire_bytes, std::move(deliver));
         return;
     }
-    PairState &ps = pair(src, dst);
-    const std::uint64_t seq = ps.nextSendSeq++;
-    ps.deliverFns.emplace(seq, std::move(deliver));
+    SendState &ss = sendByRank_[static_cast<std::size_t>(src)][dst];
+    const std::uint64_t seq = ss.nextSendSeq++;
     const std::uint64_t data_bytes = wire_bytes + seqHeaderBytes;
     auto pend = std::make_shared<Pending>();
     pend->rto = initialRto(data_bytes);
-    ps.inFlight.emplace(seq, pend);
+    pend->deliver = std::move(deliver);
+    ss.inFlight.emplace(seq, pend);
     transmit(src, dst, seq, data_bytes, std::move(pend));
 }
 
@@ -64,8 +61,12 @@ Reliable::transmit(Rank src, Rank dst, std::uint64_t seq,
                    std::uint64_t data_bytes,
                    std::shared_ptr<Pending> pend)
 {
+    // The delivery action rides in the frame: the receiver must be
+    // able to hand it over without ever touching sender-side state.
     fabric_.send(src, dst, data_bytes,
-                 [this, src, dst, seq] { onData(src, dst, seq); });
+                 [this, src, dst, seq, deliver = pend->deliver] {
+                     onData(src, dst, seq, deliver);
+                 });
     sim_.schedule(pend->rto,
                   [this, src, dst, seq, data_bytes, pend] {
                       if (pend->acked)
@@ -78,29 +79,31 @@ Reliable::transmit(Rank src, Rank dst, std::uint64_t seq,
 }
 
 void
-Reliable::onData(Rank src, Rank dst, std::uint64_t seq)
+Reliable::onData(Rank src, Rank dst, std::uint64_t seq,
+                 const std::function<void()> &deliver)
 {
-    PairState &ps = pair(src, dst);
+    RecvState &rs = recvByRank_[static_cast<std::size_t>(dst)][src];
     // Acknowledge every copy: the original ack may itself have been
     // lost, and only a fresh one stops the sender's retransmissions.
     fabric_.send(dst, src, ackBytes,
                  [this, src, dst, seq] { onAck(src, dst, seq); });
-    if (seq < ps.nextDeliverSeq || ps.ready.count(seq)) {
+    if (seq < rs.nextDeliverSeq || rs.ready.count(seq)) {
         ++fabric_.deliveryCounters().duplicates;
         return;
     }
-    ps.ready.insert(seq);
+    rs.ready.insert(seq);
+    rs.deliverFns.emplace(seq, deliver);
     // Hand over the in-sequence prefix. A delivery action may send
     // again on this very pair; the maps tolerate that (no iterators
     // are held across the call).
-    while (ps.ready.count(ps.nextDeliverSeq)) {
-        auto it = ps.deliverFns.find(ps.nextDeliverSeq);
-        TLI_ASSERT(it != ps.deliverFns.end(),
+    while (rs.ready.count(rs.nextDeliverSeq)) {
+        auto it = rs.deliverFns.find(rs.nextDeliverSeq);
+        TLI_ASSERT(it != rs.deliverFns.end(),
                    "reliable frame without a delivery action");
         std::function<void()> fn = std::move(it->second);
-        ps.deliverFns.erase(it);
-        ps.ready.erase(ps.nextDeliverSeq);
-        ++ps.nextDeliverSeq;
+        rs.deliverFns.erase(it);
+        rs.ready.erase(rs.nextDeliverSeq);
+        ++rs.nextDeliverSeq;
         fn();
     }
 }
@@ -108,14 +111,14 @@ Reliable::onData(Rank src, Rank dst, std::uint64_t seq)
 void
 Reliable::onAck(Rank src, Rank dst, std::uint64_t seq)
 {
-    PairState &ps = pair(src, dst);
-    auto it = ps.inFlight.find(seq);
-    if (it == ps.inFlight.end()) {
+    SendState &ss = sendByRank_[static_cast<std::size_t>(src)][dst];
+    auto it = ss.inFlight.find(seq);
+    if (it == ss.inFlight.end()) {
         ++fabric_.deliveryCounters().duplicateAcks;
         return;
     }
     it->second->acked = true;
-    ps.inFlight.erase(it);
+    ss.inFlight.erase(it);
     ++fabric_.deliveryCounters().acks;
 }
 

@@ -18,6 +18,7 @@
 #include <memory>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "net/fabric.h"
 #include "sim/simulation.h"
@@ -39,6 +40,15 @@ namespace tli::panda {
  * All protocol counters live on the fabric (Fabric::deliveryCounters),
  * keeping one stats surface and letting resetStats() scope them to the
  * measured phase like every other counter.
+ *
+ * Protocol state is split by side and indexed by owning rank: sender
+ * state is touched only by events running as @p src (send, ack
+ * receipt, retransmit timers), receiver state only by events running
+ * as @p dst, and the delivery action travels inside the data frame
+ * itself. Under the partitioned engine the two sides of a pair live in
+ * different shards, so this split is what keeps the protocol free of
+ * cross-shard mutation; sequentially it is behavior-identical to the
+ * old combined pair record.
  */
 class Reliable
 {
@@ -68,24 +78,29 @@ class Reliable
         bool acked = false;
         int attempt = 1;
         Time rto = 0;
+        /** Travels in every (re)transmitted copy of the frame. */
+        std::function<void()> deliver;
     };
 
-    /** Protocol state of one ordered (src, dst) rank pair. */
-    struct PairState
+    /** Sender half of one (src, dst) pair; owned by @p src. */
+    struct SendState
     {
         std::uint64_t nextSendSeq = 0;
+        /** Unacknowledged frames, by sequence number. */
+        std::unordered_map<std::uint64_t, std::shared_ptr<Pending>>
+            inFlight;
+    };
+
+    /** Receiver half of one (src, dst) pair; owned by @p dst. */
+    struct RecvState
+    {
         /** Next sequence number owed to the application. */
         std::uint64_t nextDeliverSeq = 0;
         /** Delivery actions of frames not yet handed over. */
         std::map<std::uint64_t, std::function<void()>> deliverFns;
         /** Arrived but out-of-order frames awaiting the gap fill. */
         std::set<std::uint64_t> ready;
-        /** Unacknowledged frames, by sequence number. */
-        std::unordered_map<std::uint64_t, std::shared_ptr<Pending>>
-            inFlight;
     };
-
-    PairState &pair(Rank src, Rank dst);
 
     /** Inject one (re)transmission of frame @p seq and arm its timer. */
     void transmit(Rank src, Rank dst, std::uint64_t seq,
@@ -93,7 +108,8 @@ class Reliable
                   std::shared_ptr<Pending> pend);
 
     /** A copy of data frame @p seq reached the receiver. */
-    void onData(Rank src, Rank dst, std::uint64_t seq);
+    void onData(Rank src, Rank dst, std::uint64_t seq,
+                const std::function<void()> &deliver);
 
     /** An acknowledgement of frame @p seq reached the sender. */
     void onAck(Rank src, Rank dst, std::uint64_t seq);
@@ -104,9 +120,12 @@ class Reliable
 
     sim::Simulation &sim_;
     net::Fabric &fabric_;
-    /** Pair states, keyed src * ranks + dst; looked up by key only,
-     *  never iterated, so the hash order cannot affect determinism. */
-    std::unordered_map<std::uint64_t, PairState> pairs_;
+    /** Sender state, indexed by source rank then destination. Looked
+     *  up by key only, never iterated, so hash order cannot affect
+     *  determinism. */
+    std::vector<std::unordered_map<Rank, SendState>> sendByRank_;
+    /** Receiver state, indexed by destination rank then source. */
+    std::vector<std::unordered_map<Rank, RecvState>> recvByRank_;
 };
 
 } // namespace tli::panda

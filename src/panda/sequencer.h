@@ -10,6 +10,7 @@
 #ifndef TWOLAYER_PANDA_SEQUENCER_H_
 #define TWOLAYER_PANDA_SEQUENCER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 
@@ -56,7 +57,11 @@ class SequencerService
     void shutdown(Rank self);
 
     /** Number of sequence numbers handed out so far (via any host). */
-    std::int64_t issued() const { return issued_; }
+    std::int64_t
+    issued() const
+    {
+        return issued_.load(std::memory_order_relaxed);
+    }
 
   private:
     enum class Kind { request, migrate, activate, stop };
@@ -73,7 +78,9 @@ class SequencerService
     Panda &panda_;
     int tag_;
     Rank initialHost_;
-    std::int64_t issued_ = 0;
+    // The active host migrates between clusters (shards); a relaxed
+    // atomic keeps the count exact under the partitioned engine.
+    std::atomic<std::int64_t> issued_{0};
 };
 
 } // namespace tli::panda

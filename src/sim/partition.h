@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Conservative partitioned execution of one Simulation: the event queue
+ * is sharded (one shard per cluster), shards advance in parallel inside
+ * barrier-synchronized time windows, and all cross-shard traffic is
+ * deferred to a stage that runs between windows on the driving thread.
+ *
+ * The protocol is classic conservative (CMB-family) lookahead, shaped
+ * to the two-layer interconnect: every cross-shard interaction crosses
+ * the wide area, whose latency gives a hard lower bound L on
+ * (delivery time - send time). A window executes every event strictly
+ * before `min(next event time over all shards) + L`; deliveries
+ * produced by those events land at or after the horizon, i.e. in a
+ * later window, so no shard can ever receive an event in its past.
+ */
+
+#ifndef TWOLAYER_SIM_PARTITION_H_
+#define TWOLAYER_SIM_PARTITION_H_
+
+#include "sim/types.h"
+
+namespace tli::sim {
+
+/**
+ * The cross-shard half of a partitioned run, driven by the Simulation
+ * between windows while every shard thread is parked at the barrier.
+ * net::Fabric implements it: shards append deferred wide-area sends to
+ * per-shard outboxes during a window; flushWindow() drains all outboxes
+ * in one canonical order and schedules the resulting deliveries into
+ * the destination shards (via Simulation::scheduleOnShardAt).
+ */
+class PartitionStage
+{
+  public:
+    virtual ~PartitionStage() = default;
+
+    /** Drain all deferred cross-shard work and schedule deliveries. */
+    virtual void flushWindow() = 0;
+
+    /** Whether any deferred work is still pending (quiescence test). */
+    virtual bool pendingWork() const = 0;
+};
+
+/** How a partitioned Simulation is laid out and driven. */
+struct PartitionConfig
+{
+    /** Number of event-queue shards (one per cluster). */
+    int shards = 1;
+    /** Worker threads advancing the shards (round-robin ownership). */
+    int threads = 1;
+    /**
+     * Conservative lookahead L: a proven lower bound on the delay of
+     * any cross-shard delivery. Must be positive — a zero lookahead
+     * admits no parallel window and the caller must fall back to the
+     * sequential engine instead.
+     */
+    Time lookahead = 0;
+    /** Cross-shard stage, not owned. May be null (no cross traffic). */
+    PartitionStage *stage = nullptr;
+};
+
+} // namespace tli::sim
+
+#endif // TWOLAYER_SIM_PARTITION_H_

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Partitioned-engine equivalence tests: running one simulation across
+ * several worker threads (--sim-threads, sim/partition.h) must be an
+ * execution detail only. Every application, WAN shape, and impairment
+ * mode must produce bit-identical results — run time, checksum,
+ * every fabric counter — at any thread count, because the partitioned
+ * engine replays the shared wide-area half of every window in the
+ * sequential engine's canonical order. Also covers the demotion
+ * rules: traced runs, single-cluster machines, and requested == 1
+ * all stay on the sequential engine.
+ */
+
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/common.h"
+#include "apps/registry.h"
+#include "core/run_report.h"
+#include "core/scenario.h"
+
+namespace tli::apps {
+namespace {
+
+core::Scenario
+baseScenario()
+{
+    core::Scenario s;
+    s.clusters = 4;
+    s.procsPerCluster = 2;
+    s.wanBandwidthMBs = 6.0;
+    s.wanLatencyMs = 1.0;
+    s.problemScale = 0.05;
+    return s;
+}
+
+void
+expectLinkEqual(const net::LinkStats &a, const net::LinkStats &b,
+                const char *what)
+{
+    EXPECT_EQ(a.messages, b.messages) << what;
+    EXPECT_EQ(a.bytes, b.bytes) << what;
+    EXPECT_EQ(a.busyTime, b.busyTime) << what;
+}
+
+/** Exact equality across every counter the fabric reports: the two
+ *  runs must be the same computation, not merely agree on totals. */
+void
+expectBitIdentical(const core::RunResult &a, const core::RunResult &b)
+{
+    EXPECT_EQ(a.runTime, b.runTime);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.verified, b.verified);
+    expectLinkEqual(a.traffic.intra, b.traffic.intra, "intra");
+    expectLinkEqual(a.traffic.inter, b.traffic.inter, "inter");
+    EXPECT_EQ(a.traffic.wanTransit, b.traffic.wanTransit);
+    EXPECT_EQ(a.traffic.wanLossDrops, b.traffic.wanLossDrops);
+    EXPECT_EQ(a.traffic.wanOutageDrops, b.traffic.wanOutageDrops);
+    EXPECT_EQ(a.traffic.delivery.retransmits,
+              b.traffic.delivery.retransmits);
+    EXPECT_EQ(a.traffic.delivery.duplicates,
+              b.traffic.delivery.duplicates);
+    EXPECT_EQ(a.traffic.delivery.acks, b.traffic.delivery.acks);
+    EXPECT_EQ(a.traffic.delivery.duplicateAcks,
+              b.traffic.delivery.duplicateAcks);
+    ASSERT_EQ(a.traffic.interPerCluster.size(),
+              b.traffic.interPerCluster.size());
+    for (std::size_t c = 0; c < a.traffic.interPerCluster.size();
+         ++c) {
+        expectLinkEqual(a.traffic.interPerCluster[c],
+                        b.traffic.interPerCluster[c], "per-cluster");
+    }
+    ASSERT_EQ(a.traffic.wanLinks.size(), b.traffic.wanLinks.size());
+    for (std::size_t i = 0; i < a.traffic.wanLinks.size(); ++i) {
+        expectLinkEqual(a.traffic.wanLinks[i].stats,
+                        b.traffic.wanLinks[i].stats, "wan-link");
+    }
+    EXPECT_EQ(a.computePerRank, b.computePerRank);
+}
+
+core::RunResult
+runWithThreads(const std::string &app, const std::string &variant,
+               core::Scenario s, int threads)
+{
+    s.simThreads = threads;
+    return findVariant(app, variant).run(s);
+}
+
+/** (app, variant, scenario mutation label, mutated scenario). */
+using Case =
+    std::tuple<std::string, std::string, std::string, core::Scenario>;
+
+class SequentialVsPartitioned : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(SequentialVsPartitioned, BitIdenticalAtFourThreads)
+{
+    const auto &[app, variant, label, scenario] = GetParam();
+    core::RunResult seq = runWithThreads(app, variant, scenario, 1);
+    core::RunResult par = runWithThreads(app, variant, scenario, 4);
+    EXPECT_TRUE(seq.verified) << app << "/" << variant;
+    expectBitIdentical(seq, par);
+}
+
+std::vector<Case>
+allCases()
+{
+    core::Scenario base = baseScenario();
+
+    core::Scenario star = base;
+    star.wanShape = net::WanShape::star();
+    core::Scenario ring = base;
+    ring.wanShape = net::WanShape::ring();
+    core::Scenario torus = base;
+    torus.wanShape = net::WanShape::torus({2, 2});
+    core::Scenario mesh = base;
+    mesh.wanShape = net::WanShape::mesh({2, 2});
+    core::Scenario jitter = base;
+    jitter.wanJitterFraction = 0.3;
+    // All-Myrinet: the wide links run at local speed, shrinking the
+    // lookahead window to the Myrinet latency — the smallest legal
+    // horizon the partition protocol ever gets.
+    core::Scenario myrinet = base;
+    myrinet.allMyrinet = true;
+    // 5% loss activates the reliable-delivery layer: retransmission
+    // timers, acks, and duplicate suppression must all replay
+    // identically through the deferred wide-area path.
+    core::Scenario lossy = base;
+    lossy.wanLossRate = 0.05;
+
+    return {
+        {"water", "opt", "full", base},
+        {"water", "unopt", "star", star},
+        {"water", "opt", "lossy", lossy},
+        {"asp", "opt", "ring", ring},
+        {"asp", "unopt", "full", base},
+        {"tsp", "opt", "mesh", mesh},
+        {"tsp", "unopt", "jitter", jitter},
+        {"awari", "opt", "torus", torus},
+        {"awari", "unopt", "myrinet", myrinet},
+        {"barnes", "opt", "jitter", jitter},
+        {"barnes", "unopt", "full", base},
+        {"fft", "unopt", "star", star},
+        {"fft", "unopt", "myrinet", myrinet},
+    };
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    const auto &[app, variant, label, scenario] = info.param;
+    return app + "_" + variant + "_" + label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, SequentialVsPartitioned,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+TEST(PartitionIdentity, TwoThreadsMatchFourThreads)
+{
+    core::Scenario s = baseScenario();
+    core::RunResult two = runWithThreads("water", "opt", s, 2);
+    core::RunResult four = runWithThreads("water", "opt", s, 4);
+    expectBitIdentical(two, four);
+}
+
+TEST(PartitionIdentity, AutoThreadCountMatchesSequential)
+{
+    core::Scenario s = baseScenario();
+    core::RunResult seq = runWithThreads("asp", "opt", s, 1);
+    core::RunResult any = runWithThreads("asp", "opt", s, 0);
+    expectBitIdentical(seq, any);
+}
+
+TEST(PartitionDemotion, SingleClusterCollapsesToSequential)
+{
+    core::Scenario s = baseScenario();
+    s.clusters = 1;
+    s.procsPerCluster = 8;
+    s.simThreads = 4;
+    Machine machine(s);
+    // One shard is just the sequential engine with barrier overhead:
+    // the machine must not engage the partition at all.
+    EXPECT_EQ(machine.simThreads(), 1);
+    EXPECT_FALSE(machine.sim().partitioned());
+
+    core::RunResult seq = runWithThreads("water", "opt", s, 1);
+    core::RunResult par = runWithThreads("water", "opt", s, 4);
+    expectBitIdentical(seq, par);
+}
+
+TEST(PartitionDemotion, TracedRunStaysSequential)
+{
+    // The exec engine's shared-TraceSink rule, applied inside one
+    // run: a trace sink observes events in global order, so a traced
+    // run demotes to one thread no matter what was requested.
+    core::ReportSink sink;
+    core::Scenario s = baseScenario();
+    s.trace = &sink;
+    s.simThreads = 4;
+    Machine machine(s);
+    EXPECT_EQ(machine.simThreads(), 1);
+    EXPECT_FALSE(machine.sim().partitioned());
+}
+
+TEST(PartitionDemotion, RequestedOneStaysSequential)
+{
+    core::Scenario s = baseScenario();
+    s.simThreads = 1;
+    Machine machine(s);
+    EXPECT_EQ(machine.simThreads(), 1);
+    EXPECT_FALSE(machine.sim().partitioned());
+}
+
+TEST(PartitionDemotion, MultiClusterUntracedEngages)
+{
+    core::Scenario s = baseScenario();
+    s.simThreads = 4;
+    Machine machine(s);
+    EXPECT_EQ(machine.simThreads(), 4);
+    EXPECT_TRUE(machine.sim().partitioned());
+}
+
+TEST(PartitionDemotion, ThreadCountCapsAtClusterCount)
+{
+    core::Scenario s = baseScenario();
+    s.simThreads = 64;
+    Machine machine(s);
+    EXPECT_EQ(machine.simThreads(), s.clusters);
+}
+
+TEST(PartitionScenario, SimThreadsIsNotASemanticKnob)
+{
+    // Like the trace sink, the thread count selects execution, not
+    // the experiment: fingerprints and equality ignore it, so cached
+    // results are shared across thread counts.
+    core::Scenario a = baseScenario();
+    core::Scenario b = baseScenario();
+    b.simThreads = 4;
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    EXPECT_TRUE(a == b);
+}
+
+TEST(PartitionScenario, NegativeSimThreadsIsInvalid)
+{
+    core::Scenario s = baseScenario();
+    s.simThreads = -1;
+    EXPECT_NE(s.validate(), "");
+}
+
+TEST(PartitionReport, SimThreadsFieldOnlyWhenNonDefault)
+{
+    core::Scenario s = baseScenario();
+    core::RunResult r = runWithThreads("water", "opt", s, 1);
+
+    std::ostringstream seq;
+    core::writeRunReport(seq, "t", s, r, nullptr, -1);
+    EXPECT_EQ(seq.str().find("sim_threads"), std::string::npos);
+
+    s.simThreads = 4;
+    std::ostringstream par;
+    core::writeRunReport(par, "t", s, r, nullptr, -1);
+    EXPECT_NE(par.str().find("\"sim_threads\": 4"), std::string::npos);
+}
+
+} // namespace
+} // namespace tli::apps

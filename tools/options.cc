@@ -74,6 +74,8 @@ ScenarioOptions::parseOne(const char *arg)
         jsonPath = v;
     else if (const char *v = flagValue(arg, "--jobs="))
         jobs = std::atoi(v);
+    else if (const char *v = flagValue(arg, "--sim-threads="))
+        builder_.simThreads(std::atoi(v));
     else if (const char *v = flagValue(arg, "--cache-dir="))
         cacheDir = v;
     else if (std::strcmp(arg, "--no-cache") == 0)
@@ -149,6 +151,11 @@ ScenarioOptions::usage(std::FILE *os)
         "  --json=FILE            write a machine-readable report\n"
         "  --jobs=N               worker threads for batches\n"
         "                         (default 0 = all hardware cores)\n"
+        "  --sim-threads=N        partitioned-DES threads inside one\n"
+        "                         run (default 1 = sequential engine,\n"
+        "                         0 = all hardware cores, capped at\n"
+        "                         the cluster count; bit-identical\n"
+        "                         results at any value)\n"
         "  --cache-dir=DIR        content-addressed result cache;\n"
         "                         hits skip the simulation entirely\n"
         "  --no-cache             ignore --cache-dir for this run\n");

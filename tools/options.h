@@ -2,9 +2,9 @@
  * @file
  * Shared command-line surface of the tli_* tools: one parser for the
  * scenario/application flags, the observability flags (--trace,
- * --json) and the execution-engine flags (--jobs, --cache-dir,
- * --no-cache), so every tool accepts the same spelling and new knobs
- * land everywhere at once.
+ * --json) and the execution-engine flags (--jobs, --sim-threads,
+ * --cache-dir, --no-cache), so every tool accepts the same spelling
+ * and new knobs land everywhere at once.
  */
 
 #ifndef TWOLAYER_TOOLS_OPTIONS_H_

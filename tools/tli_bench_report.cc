@@ -26,6 +26,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <string>
 #include <thread>
@@ -389,6 +390,59 @@ measureScaling(bool full)
     return rows;
 }
 
+struct SimThreadsTimings
+{
+    exec::ScaleConfig config;
+    /** Best-of wall seconds of the simulation proper, one slot per
+     *  thread count in @ref counts order (1/2/4/8). */
+    double seconds[4] = {0, 0, 0, 0};
+    std::uint64_t events = 0;
+    /** Every thread count reproduced the 1-thread digest, event
+     *  count, and virtual time exactly. */
+    bool identical = true;
+
+    static constexpr int counts[4] = {1, 2, 4, 8};
+};
+
+/**
+ * The single-run speedup curve: one big multi-cluster exchange
+ * through the partitioned engine (--sim-threads) at 1/2/4/8 worker
+ * threads. In-process with best-of timing — ScaleResult::wallSeconds
+ * already excludes construction, so child isolation buys nothing
+ * here. Bit-identity across thread counts is checked on every rep,
+ * not assumed.
+ */
+SimThreadsTimings
+measureSimThreads(int reps, bool full)
+{
+    SimThreadsTimings t;
+    t.config = {.clusters = 8,
+                .procsPerCluster = 64,
+                .rounds = full ? 16 : 4};
+    std::uint64_t refDigest = 0;
+    double refSimTime = 0;
+    for (int i = 0; i < 4; ++i) {
+        exec::ScaleConfig config = t.config;
+        config.simThreads = SimThreadsTimings::counts[i];
+        double best = std::numeric_limits<double>::infinity();
+        for (int rep = 0; rep < reps; ++rep) {
+            const exec::ScaleResult r =
+                exec::runScaleWorkload(config);
+            best = std::min(best, r.wallSeconds);
+            if (i == 0 && rep == 0) {
+                refDigest = r.digest;
+                refSimTime = r.simTime;
+                t.events = r.events;
+            }
+            if (r.digest != refDigest || r.simTime != refSimTime ||
+                r.events != t.events)
+                t.identical = false;
+        }
+        t.seconds[i] = best;
+    }
+    return t;
+}
+
 struct PredictionTimings
 {
     std::size_t cells = 0;
@@ -498,6 +552,9 @@ main(int argc, char **argv)
     std::fprintf(stderr, "measuring scaling curve...\n");
     std::vector<ScaleRow> scaling = measureScaling(reps > 2);
     std::fprintf(stderr,
+                 "measuring --sim-threads single-run speedup...\n");
+    SimThreadsTimings simt = measureSimThreads(reps, reps > 2);
+    std::fprintf(stderr,
                  "measuring analytical prediction vs DES sweep...\n");
     PredictionTimings pred =
         measurePrediction(reps <= 2 ? 0.25 : 0.5);
@@ -510,6 +567,7 @@ main(int argc, char **argv)
         std::thread::hardware_concurrency());
     const bool speedup4Valid = hw >= 4;
     const bool speedup8Valid = hw >= 8;
+    const bool simThreads2Valid = hw >= 2;
 
     std::ofstream f(out);
     if (!f) {
@@ -519,7 +577,7 @@ main(int argc, char **argv)
     {
         core::JsonWriter w(f);
         w.beginObject();
-        w.field("schema", 4);
+        w.field("schema", 5);
         w.field("label", label);
         w.key("event_queue").beginObject();
         w.field("workload_events", queue_events);
@@ -580,6 +638,30 @@ main(int argc, char **argv)
             w.endObject();
         }
         w.endArray();
+        w.key("sim_threads").beginObject();
+        w.field("clusters", simt.config.clusters);
+        w.field("procs_per_cluster", simt.config.procsPerCluster);
+        w.field("rounds", simt.config.rounds);
+        w.field("events", static_cast<std::int64_t>(simt.events));
+        w.field("bit_identical", simt.identical);
+        w.field("hardware_concurrency", hw);
+        w.field("threads1_seconds", simt.seconds[0]);
+        w.field("threads2_seconds", simt.seconds[1]);
+        w.field("threads4_seconds", simt.seconds[2]);
+        w.field("threads8_seconds", simt.seconds[3]);
+        w.field("speedup_simthreads2_applicable", simThreads2Valid);
+        if (simThreads2Valid)
+            w.field("speedup_simthreads2",
+                    simt.seconds[0] / simt.seconds[1]);
+        w.field("speedup_simthreads4_applicable", speedup4Valid);
+        if (speedup4Valid)
+            w.field("speedup_simthreads4",
+                    simt.seconds[0] / simt.seconds[2]);
+        w.field("speedup_simthreads8_applicable", speedup8Valid);
+        if (speedup8Valid)
+            w.field("speedup_simthreads8",
+                    simt.seconds[0] / simt.seconds[3]);
+        w.endObject();
         w.key("prediction").beginObject();
         w.field("grid_cells",
                 static_cast<std::int64_t>(pred.cells));
@@ -638,6 +720,18 @@ main(int argc, char **argv)
                         (1024.0 * 1024.0),
                     row.isolated ? "" : " (not isolated)");
     }
+    char simt4[32];
+    if (speedup4Valid)
+        std::snprintf(simt4, sizeof(simt4), "%.2fx",
+                      simt.seconds[0] / simt.seconds[2]);
+    else
+        std::snprintf(simt4, sizeof(simt4), "n/a: %lld cores",
+                      static_cast<long long>(hw));
+    std::printf("sim-threads (%d ranks, one run): %.3fs at 1, %.3fs "
+                "at 4 (%s)%s\n",
+                simt.config.ranks(), simt.seconds[0],
+                simt.seconds[2], simt4,
+                simt.identical ? "" : "  FAIL: not bit-identical");
     std::printf("prediction (%zu cells): %.3fs analysis vs %.3fs DES "
                 "sweep (%.1fx, max err %.2f%%)\n",
                 pred.cells, pred.analysisSeconds, pred.sweepSeconds,
@@ -648,5 +742,5 @@ main(int argc, char **argv)
     std::printf("peak RSS:         %11lld bytes\n",
                 static_cast<long long>(rss));
     std::printf("wrote %s\n", out.c_str());
-    return 0;
+    return simt.identical ? 0 : 1;
 }
