@@ -9,6 +9,7 @@
 #ifndef TWOLAYER_BENCH_COLLECTIVE_TIMING_H_
 #define TWOLAYER_BENCH_COLLECTIVE_TIMING_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -26,12 +27,13 @@ namespace tli::bench {
 inline const std::vector<std::string> &
 allCollectives()
 {
-    static const std::vector<std::string> ops = {
-        "barrier",  "bcast",      "gather",   "gatherv",
-        "scatter",  "scatterv",   "allgather", "allgatherv",
-        "alltoall", "alltoallv",  "reduce",   "allreduce",
-        "reduce_scatter", "scan",
-    };
+    static const std::vector<std::string> ops = [] {
+        std::vector<std::string> v;
+        for (int i = 0; i < magpie::kOpCount; ++i)
+            v.emplace_back(
+                magpie::opName(static_cast<magpie::Op>(i)));
+        return v;
+    }();
     return ops;
 }
 
@@ -91,12 +93,38 @@ invokeCollective(magpie::Communicator &comm, const std::string &op,
 }
 
 /**
+ * The dispatch key a tuned Communicator computes for
+ * invokeCollective's payload at @p elems doubles per rank: the wire
+ * size of one rank's own contribution for the symmetric fixed-count
+ * operations, 0 for the operations a tuned policy keys on a single
+ * aggregate cell (barrier, scatter, and the ragged *v forms). The
+ * tuner stores table cells under exactly these keys.
+ */
+inline std::uint64_t
+dispatchKeyBytes(const std::string &op, int p, int elems)
+{
+    using magpie::Table;
+    using magpie::Vec;
+    if (op == "bcast" || op == "reduce" || op == "allreduce" ||
+        op == "gather" || op == "allgather" || op == "scan")
+        return magpie::wireSize(
+            Vec(static_cast<std::size_t>(elems), 0.0));
+    if (op == "alltoall" || op == "reduce_scatter")
+        return magpie::wireSize(Table(
+            static_cast<std::size_t>(p),
+            Vec(static_cast<std::size_t>(elems / 4 + 1), 0.0)));
+    return 0;
+}
+
+/**
  * Completion time (all ranks finished) of one collective call on a
  * machine built from @p params — the wide-area shape, latency and
- * bandwidth all come from the profile that produced it.
+ * bandwidth all come from the profile that produced it. A tuned
+ * @p policy must already be bound to its gap point by the caller.
  */
 inline double
-timeCollective(const std::string &op, magpie::Algorithm alg,
+timeCollective(const std::string &op,
+               const magpie::CollectivePolicy &policy,
                const net::FabricParams &params, int clusters,
                int procs, int elems)
 {
@@ -104,7 +132,7 @@ timeCollective(const std::string &op, magpie::Algorithm alg,
     net::Topology topo(clusters, procs);
     net::Fabric fabric(sim, topo, params);
     panda::Panda panda(sim, fabric);
-    magpie::Communicator comm(panda, alg);
+    magpie::Communicator comm(panda, policy);
     const int p = topo.totalRanks();
     for (Rank r = 0; r < p; ++r)
         sim.spawn(invokeCollective(comm, op, r, p, elems));

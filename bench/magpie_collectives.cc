@@ -19,7 +19,7 @@
 #include "sim/simulation.h"
 
 using namespace tli;
-using magpie::Algorithm;
+using magpie::CollectivePolicy;
 using magpie::Communicator;
 using magpie::ReduceOp;
 using magpie::Table;
@@ -30,12 +30,13 @@ namespace {
 
 /** One timed collective at a das(bw, lat) point (flat wide area). */
 double
-timeOp(const std::string &op, Algorithm alg, double bw_mbs,
-       double lat_ms, int clusters, int procs, int elems)
+timeOp(const std::string &op, const CollectivePolicy &policy,
+       double bw_mbs, double lat_ms, int clusters, int procs,
+       int elems)
 {
     return bench::timeCollective(
-        op, alg, net::Profile::das(bw_mbs, lat_ms).params(), clusters,
-        procs, elems);
+        op, policy, net::Profile::das(bw_mbs, lat_ms).params(),
+        clusters, procs, elems);
 }
 
 const std::vector<std::string> &allOps = bench::allCollectives();
@@ -58,9 +59,9 @@ main(int argc, char **argv)
                            "speedup"});
     for (const auto &op : allOps) {
         double flat =
-            timeOp(op, Algorithm::flat, 1.0, 10.0, 4, 8, elems);
+            timeOp(op, CollectivePolicy::flat(), 1.0, 10.0, 4, 8, elems);
         double mag =
-            timeOp(op, Algorithm::magpie, 1.0, 10.0, 4, 8, elems);
+            timeOp(op, CollectivePolicy::magpie(), 1.0, 10.0, 4, 8, elems);
         table.addRow({op, core::TextTable::num(flat * 1e3, 2),
                       core::TextTable::num(mag * 1e3, 2),
                       core::TextTable::num(flat / mag, 1) + "x"});
@@ -76,9 +77,9 @@ main(int argc, char **argv)
                   : std::vector<double>{1, 3, 10, 30, 100, 300};
     for (double lat : lats) {
         double flat =
-            timeOp("bcast", Algorithm::flat, 1.0, lat, 4, 8, elems);
+            timeOp("bcast", CollectivePolicy::flat(), 1.0, lat, 4, 8, elems);
         double mag =
-            timeOp("bcast", Algorithm::magpie, 1.0, lat, 4, 8, elems);
+            timeOp("bcast", CollectivePolicy::magpie(), 1.0, lat, 4, 8, elems);
         sweep.addRow({core::TextTable::num(lat, 0) + "ms",
                       core::TextTable::num(flat * 1e3, 2),
                       core::TextTable::num(mag * 1e3, 2),
@@ -91,9 +92,9 @@ main(int argc, char **argv)
                            "speedup"});
     for (int e : {8, 128, 2048, 32768}) {
         double flat =
-            timeOp("bcast", Algorithm::flat, 1.0, 10.0, 4, 8, e);
+            timeOp("bcast", CollectivePolicy::flat(), 1.0, 10.0, 4, 8, e);
         double mag =
-            timeOp("bcast", Algorithm::magpie, 1.0, 10.0, 4, 8, e);
+            timeOp("bcast", CollectivePolicy::magpie(), 1.0, 10.0, 4, 8, e);
         sizes.addRow({std::to_string(e * 8) + "B",
                       core::TextTable::num(flat * 1e3, 2),
                       core::TextTable::num(mag * 1e3, 2),

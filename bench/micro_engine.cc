@@ -174,14 +174,15 @@ BENCHMARK(BM_PandaUnicast)->Arg(4096);
 void
 BM_CollectiveAllreduce(benchmark::State &state)
 {
-    const auto alg = state.range(0) == 0 ? magpie::Algorithm::flat
-                                         : magpie::Algorithm::magpie;
+    const magpie::CollectivePolicy policy =
+        state.range(0) == 0 ? magpie::CollectivePolicy::flat()
+                            : magpie::CollectivePolicy::magpie();
     for (auto _ : state) {
         sim::Simulation sim;
         net::Topology topo(4, 8);
         net::Fabric fabric(sim, topo, net::Profile::das(6.0, 0.5).params());
         panda::Panda panda(sim, fabric);
-        magpie::Communicator comm(panda, alg);
+        magpie::Communicator comm(panda, policy);
         auto proc = [&](Rank self) -> sim::Task<void> {
             for (int i = 0; i < 8; ++i) {
                 magpie::Vec v{1.0 * self};

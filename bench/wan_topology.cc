@@ -175,10 +175,10 @@ main(int argc, char **argv)
                         .withTopology(shapeFor(kind, clusters))
                         .params();
                 double flat = bench::timeCollective(
-                    op, magpie::Algorithm::flat, params, clusters,
+                    op, magpie::CollectivePolicy::flat(), params, clusters,
                     procs, elems);
                 double mag = bench::timeCollective(
-                    op, magpie::Algorithm::magpie, params, clusters,
+                    op, magpie::CollectivePolicy::magpie(), params, clusters,
                     procs, elems);
                 row.push_back(core::TextTable::num(flat / mag, 1) +
                               "x");

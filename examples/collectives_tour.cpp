@@ -12,7 +12,7 @@
 #include "sim/simulation.h"
 
 using namespace tli;
-using magpie::Algorithm;
+using magpie::CollectivePolicy;
 using magpie::ReduceOp;
 using magpie::Table;
 using magpie::Vec;
@@ -50,13 +50,13 @@ program(magpie::Communicator &comm, Rank self, double *out_sum)
 }
 
 double
-runWith(Algorithm alg, double *completion)
+runWith(const CollectivePolicy &policy, double *completion)
 {
     sim::Simulation sim;
     net::Topology topo(4, 8);
     net::Fabric fabric(sim, topo, net::Profile::das(1.0, 30.0).params());
     panda::Panda panda(sim, fabric);
-    magpie::Communicator comm(panda, alg);
+    magpie::Communicator comm(panda, policy);
 
     double result = 0;
     for (Rank r = 0; r < topo.totalRanks(); ++r)
@@ -73,8 +73,8 @@ main()
 {
     std::printf("4 clusters x 8 ranks, wide area 1 MByte/s / 30 ms\n\n");
     double t_flat = 0, t_magpie = 0;
-    double r_flat = runWith(Algorithm::flat, &t_flat);
-    double r_magpie = runWith(Algorithm::magpie, &t_magpie);
+    double r_flat = runWith(CollectivePolicy::flat(), &t_flat);
+    double r_magpie = runWith(CollectivePolicy::magpie(), &t_magpie);
 
     std::printf("flat   (MPICH-like): result %.4f, completed in "
                 "%6.1f ms\n", r_flat, t_flat * 1e3);

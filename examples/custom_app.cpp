@@ -151,15 +151,17 @@ solverRank(Shared &shared, Rank self)
 } // namespace
 
 Result
-solve(magpie::Algorithm algorithm, int ref_iters, double ref_sum)
+solve(const magpie::CollectivePolicy &policy, int ref_iters,
+      double ref_sum)
 {
     core::Scenario scenario;
     scenario.clusters = 4;
     scenario.procsPerCluster = 8;
     scenario.wanBandwidthMBs = 1.0;
     scenario.wanLatencyMs = 10.0;
+    scenario.collectives = policy;
 
-    apps::Machine machine(scenario, algorithm);
+    apps::Machine machine(scenario);
     Shared shared{machine, {}, 0, 0, 0};
     std::vector<double> grid = initialGrid();
     const int p = machine.size();
@@ -197,14 +199,13 @@ main()
                 "allreduce is where\nthe wide-area latency bites, so "
                 "the collective algorithm family matters:\n\n");
     bool all_ok = true;
-    for (auto alg : {magpie::Algorithm::flat,
-                     magpie::Algorithm::magpie}) {
-        Result r = solve(alg, ref_iters, ref_sum);
+    for (const auto &policy : {magpie::CollectivePolicy::flat(),
+                               magpie::CollectivePolicy::magpie()}) {
+        Result r = solve(policy, ref_iters, ref_sum);
         all_ok = all_ok && r.verified;
         std::printf("%-22s %d iterations, %7.3f s simulated, %lu WAN "
                     "messages, verified: %s\n",
-                    magpie::algorithmName(alg), r.iterations,
-                    r.simTime,
+                    policy.spec().c_str(), r.iterations, r.simTime,
                     static_cast<unsigned long>(r.wanMessages),
                     r.verified ? "yes" : "NO");
     }

@@ -63,21 +63,26 @@ class Machine
 {
   public:
     /**
-     * @param scenario  machine shape and network parameters
-     * @param algorithm collective algorithm family for comm(); the
-     *                  paper's applications use flat collectives (the
-     *                  optimizations live in the applications); pass
-     *                  magpie::Algorithm::magpie to route collectives
-     *                  through the cluster-aware library instead
+     * @param scenario machine shape, network parameters, and the
+     *        collective policy for comm(). The default (all-flat)
+     *        policy matches the paper's applications, whose wide-area
+     *        optimizations live in the applications themselves; set
+     *        Scenario::collectives (--collectives / --tuning-table)
+     *        to route collectives through the cluster-aware or tuned
+     *        library instead. A tuned policy is bound here to the
+     *        scenario's (bandwidth, latency) gap point.
      */
-    explicit Machine(const core::Scenario &scenario,
-                     magpie::Algorithm algorithm =
-                         magpie::Algorithm::flat)
+    explicit Machine(const core::Scenario &scenario)
         : scenario_(scenario),
           topo_(scenario.clusters, scenario.procsPerCluster),
           fabric_(sim_, topo_, scenario.fabricParams()),
           panda_(sim_, fabric_),
-          comm_(panda_, algorithm),
+          comm_(panda_,
+                scenario.collectives.isTuned()
+                    ? scenario.collectives.boundTo(
+                          scenario.wanBandwidthMBs,
+                          scenario.wanLatencyMs)
+                    : scenario.collectives),
           computeSeconds_(topo_.totalRanks(), 0.0)
     {
         if (scenario.trace) {
@@ -186,6 +191,7 @@ class Machine
         r.checksum = checksum;
         r.verified = verified;
         r.computePerRank = computeSeconds_;
+        r.collectiveDispatch = comm_.dispatchLog();
         return r;
     }
 

@@ -106,6 +106,12 @@ writeScenarioJson(JsonWriter &w, const Scenario &scenario)
     w.field("wan_outage_queue", scenario.wanOutageQueue);
     w.field("problem_scale", scenario.problemScale);
     w.field("seed", scenario.seed);
+    // The collective policy spec, spelled exactly as --collectives
+    // and Scenario::fingerprint() spell it; emitted only when
+    // non-default so default-policy reports stay byte-identical to
+    // the pre-policy schema.
+    if (!scenario.collectives.isDefault())
+        w.field("collectives", scenario.collectives.spec());
     w.endObject();
 }
 
@@ -141,6 +147,16 @@ writeRunReport(std::ostream &os, const std::string &label,
     for (double s : result.computePerRank)
         w.value(s);
     w.endArray();
+    // The dispatch decisions actually taken, so a tuned run's variant
+    // selection is reproducible from its report alone. Emitted only
+    // under a non-default policy: default-policy reports stay
+    // byte-identical to the pre-policy schema.
+    if (!scenario.collectives.isDefault()) {
+        w.key("collective_dispatch").beginArray();
+        for (const std::string &d : result.collectiveDispatch)
+            w.value(d);
+        w.endArray();
+    }
     w.endObject();
 
     w.key("traffic").beginObject();

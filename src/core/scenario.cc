@@ -69,6 +69,14 @@ Scenario::fingerprint() const
         s += ";wan_outage_queue=" +
              std::to_string(wanOutageQueue ? 1 : 0);
     }
+    // The collective policy joined the scenario with the tuned
+    // dispatch work; same conditional-append rule — the default
+    // (all-flat) policy adds nothing, so every earlier fingerprint
+    // (pinned golden, result-cache keys) is byte-identical. The spec
+    // is the same canonical string the --collectives flag and the
+    // JSON reports use; a tuned policy hashes its table content.
+    if (!collectives.isDefault())
+        s += ";collectives=" + collectives.spec();
     return fnv1a(s);
 }
 
@@ -86,7 +94,8 @@ Scenario::operator==(const Scenario &o) const
            wanOutageDurationS == o.wanOutageDurationS &&
            wanOutagePeriodS == o.wanOutagePeriodS &&
            wanOutageQueue == o.wanOutageQueue &&
-           problemScale == o.problemScale && seed == o.seed;
+           problemScale == o.problemScale && seed == o.seed &&
+           collectives == o.collectives;
 }
 
 std::string
@@ -133,6 +142,9 @@ Scenario::validate() const
     } else if (simThreads < 0) {
         os << "sim-threads must be >= 0 (0 = auto), got "
            << simThreads;
+    } else if (collectives.isTuned() && collectives.bound()) {
+        os << "scenarios carry tuned policies unbound (the Machine "
+              "binds them to the scenario's gap point)";
     }
     return os.str();
 }
@@ -189,6 +201,8 @@ Scenario::describe() const
         os << " loss=" << wanLossRate;
     if (!allMyrinet && wanOutageDurationS > 0)
         os << " outage=" << wanOutageDurationS << "s";
+    if (!collectives.isDefault())
+        os << " collectives=" << collectives.spec();
     if (problemScale != 1.0)
         os << " scale=" << problemScale;
     return os.str();

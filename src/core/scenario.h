@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "magpie/policy.h"
 #include "net/config.h"
 #include "net/fabric.h"
 
@@ -78,6 +79,18 @@ struct Scenario
     /** Workload scale factor relative to each app's default input. */
     double problemScale = 1.0;
     std::uint64_t seed = 42;
+
+    /**
+     * Per-operation collective algorithm selection for the run's
+     * Communicator (--collectives / --tuning-table). The default
+     * (all-flat) policy matches the paper's applications, whose
+     * wide-area optimizations live in the applications themselves;
+     * fingerprint() appends the policy spec only when it is
+     * non-default, so existing fingerprints and cache keys are
+     * preserved. A tuned policy is carried unbound — the Machine
+     * binds it to this scenario's (bandwidth, latency) point.
+     */
+    magpie::CollectivePolicy collectives;
 
     /**
      * Observability sink the run's Simulation is wired to (see
@@ -290,6 +303,13 @@ class ScenarioBuilder
         s_.seed = value;
         return *this;
     }
+    /** Per-operation collective algorithm selection. */
+    ScenarioBuilder &
+    collectives(magpie::CollectivePolicy policy)
+    {
+        s_.collectives = std::move(policy);
+        return *this;
+    }
     /** Observability sink for the run (not a semantic knob). */
     ScenarioBuilder &
     trace(sim::TraceSink *sink)
@@ -339,6 +359,13 @@ struct RunResult
     bool verified = false;
     /** Charged compute seconds per rank during the measured phase. */
     std::vector<double> computePerRank;
+    /**
+     * Distinct collective dispatch decisions taken during the run,
+     * "op:bytes=variant" in first-use order (Communicator::
+     * dispatchLog). Reported per-run so tuned results stay
+     * reproducible; empty for runs that issued no collectives.
+     */
+    std::vector<std::string> collectiveDispatch;
 
     /** Total inter-cluster volume rate, MByte/s. */
     double

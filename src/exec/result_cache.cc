@@ -231,6 +231,10 @@ ResultCache::store(const std::string &fingerprint,
         w.field("wan_outage_queue", s.wanOutageQueue);
         w.field("problem_scale", s.problemScale);
         w.field("seed", s.seed);
+        // Conditional like wan_dims: default-policy entries stay
+        // byte-identical to the pre-policy cache format.
+        if (!s.collectives.isDefault())
+            w.field("collectives", s.collectives.spec());
         w.endObject();
 
         w.key("result").beginObject();

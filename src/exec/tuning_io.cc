@@ -1,0 +1,165 @@
+#include "exec/tuning_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/json.h"
+#include "sim/logging.h"
+
+namespace tli::exec {
+
+namespace {
+
+std::string
+hashHex(std::uint64_t h)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, h);
+    return buf;
+}
+
+} // namespace
+
+void
+writeTuningTable(std::ostream &os, const magpie::TuningTable &table)
+{
+    using magpie::Op;
+    core::JsonWriter w(os, 2, /*fullPrecision=*/true);
+    w.beginObject();
+    w.field("schema", kTuningSchema);
+    w.field("clusters", table.clusters);
+    w.field("procs_per_cluster", table.procsPerCluster);
+    // Redundant with the decisions below by construction; stored so a
+    // reader can detect a corrupted or hand-edited table, and so the
+    // "tuned:<hash>" spec in reports can be matched to its file.
+    w.field("content_hash", hashHex(table.contentHash()));
+    w.key("gaps").beginArray();
+    for (std::size_t g = 0; g < table.gaps.size(); ++g) {
+        w.beginObject();
+        w.field("bw_mbs", table.gaps[g].bwMBs);
+        w.field("lat_ms", table.gaps[g].latMs);
+        w.key("ops").beginObject();
+        for (int op = 0; op < magpie::kOpCount; ++op) {
+            w.key(magpie::opName(static_cast<Op>(op))).beginArray();
+            for (const magpie::TuningTable::Cell &c :
+                 table.cells[g][op]) {
+                w.beginObject()
+                    .field("size_bytes", c.sizeBytes)
+                    .field("choice", c.choice.spec())
+                    .endObject();
+            }
+            w.endArray();
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+storeTuningTable(const std::string &path,
+                 const magpie::TuningTable &table)
+{
+    // Same atomic-rename protocol as the result cache: readers only
+    // ever see complete files.
+    std::ostringstream tmpName;
+    tmpName << path << "." << std::this_thread::get_id() << ".tmp";
+    const std::string tmp = tmpName.str();
+    {
+        std::ofstream f(tmp);
+        if (!f)
+            TLI_FATAL("cannot write tuning table ", tmp);
+        writeTuningTable(f, table);
+        f << "\n";
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        TLI_FATAL("cannot commit tuning table ", path, ": ",
+                  ec.message());
+    }
+}
+
+std::shared_ptr<const magpie::TuningTable>
+loadTuningTable(const std::string &path, std::string *error)
+{
+    using magpie::Op;
+    auto fail = [&](std::string msg)
+        -> std::shared_ptr<const magpie::TuningTable> {
+        if (error)
+            *error = path + ": " + std::move(msg);
+        return nullptr;
+    };
+
+    std::ifstream f(path);
+    if (!f)
+        return fail("cannot open");
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    std::string parse_err;
+    std::optional<core::JsonValue> doc =
+        core::parseJson(buf.str(), &parse_err);
+    if (!doc)
+        return fail("malformed JSON (" + parse_err + ")");
+    const core::JsonValue *schema = doc->find("schema");
+    if (!schema || schema->kind() != core::JsonValue::Kind::string ||
+        schema->asString() != kTuningSchema) {
+        return fail(std::string("not a ") + kTuningSchema +
+                    " document");
+    }
+
+    const core::JsonValue *clusters = doc->find("clusters");
+    const core::JsonValue *procs = doc->find("procs_per_cluster");
+    const core::JsonValue *hash = doc->find("content_hash");
+    const core::JsonValue *gapsNode = doc->find("gaps");
+    if (!clusters || !procs || !hash || !gapsNode)
+        return fail("missing required field");
+
+    auto table = std::make_shared<magpie::TuningTable>();
+    table->clusters = static_cast<int>(clusters->asInt());
+    table->procsPerCluster = static_cast<int>(procs->asInt());
+    const core::JsonValue &gaps = *gapsNode;
+    for (std::size_t g = 0; g < gaps.size(); ++g) {
+        const core::JsonValue &gap = gaps[g];
+        table->gaps.push_back({gap.at("bw_mbs").asDouble(),
+                               gap.at("lat_ms").asDouble()});
+        table->cells.emplace_back();
+        const core::JsonValue &ops = gap.at("ops");
+        for (int op = 0; op < magpie::kOpCount; ++op) {
+            const char *name = magpie::opName(static_cast<Op>(op));
+            const core::JsonValue *cells = ops.find(name);
+            if (!cells)
+                return fail(std::string("missing operation ") + name);
+            for (std::size_t i = 0; i < cells->size(); ++i) {
+                const core::JsonValue &c = (*cells)[i];
+                std::optional<magpie::Choice> choice =
+                    magpie::parseChoice(c.at("choice").asString());
+                if (!choice) {
+                    return fail("unknown variant \"" +
+                                c.at("choice").asString() + "\" for " +
+                                name);
+                }
+                table->cells.back()[op].push_back(
+                    {c.at("size_bytes").asUint(), *choice});
+            }
+        }
+    }
+    if (table->gaps.empty())
+        return fail("no gap points");
+    table->finalize();
+    const std::string &want = hash->asString();
+    if (const std::string got = hashHex(table->contentHash());
+        got != want) {
+        return fail("content_hash mismatch (file says " + want +
+                    ", decisions hash to " + got + ")");
+    }
+    return table;
+}
+
+} // namespace tli::exec

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * JSON persistence for magpie::TuningTable ("tli-tuning-v1"): the
+ * tuner writes a decision table here and --tuning-table reads it back.
+ * Lives in exec (not magpie) so the collective library stays free of
+ * the core JSON dependency.
+ */
+
+#ifndef TWOLAYER_EXEC_TUNING_IO_H_
+#define TWOLAYER_EXEC_TUNING_IO_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "magpie/tuning.h"
+
+namespace tli::exec {
+
+/** The schema tag stored in (and required of) every table file. */
+inline constexpr const char *kTuningSchema = "tli-tuning-v1";
+
+/** Write @p table as a tli-tuning-v1 document to @p os. */
+void writeTuningTable(std::ostream &os,
+                      const magpie::TuningTable &table);
+
+/** writeTuningTable() to @p path atomically; panics on I/O failure. */
+void storeTuningTable(const std::string &path,
+                      const magpie::TuningTable &table);
+
+/**
+ * Load a tli-tuning-v1 document. Returns nullptr with @p error set on
+ * a missing file, malformed JSON, wrong schema, unknown
+ * operation/variant names, or a content_hash that does not match the
+ * decisions (a corrupted or hand-edited table). The returned table is
+ * finalized (sorted, invariant-checked).
+ */
+std::shared_ptr<const magpie::TuningTable>
+loadTuningTable(const std::string &path, std::string *error = nullptr);
+
+} // namespace tli::exec
+
+#endif // TWOLAYER_EXEC_TUNING_IO_H_

@@ -119,7 +119,7 @@ FlatCollectives::alltoall(Rank self, int seq, Table sendbuf)
     const int p = size();
     TLI_ASSERT(static_cast<int>(sendbuf.size()) == p,
                "alltoall needs one row per rank");
-    TLI_ASSERT(p < phasesPerCall, "alltoall limited to ", phasesPerCall,
+    TLI_ASSERT(p < phasesPerCall_, "alltoall limited to ", phasesPerCall_,
                " ranks");
     Table out(p);
     out[self] = std::move(sendbuf[self]);

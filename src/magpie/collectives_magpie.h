@@ -35,7 +35,7 @@ class MagpieCollectives : public CollectivesImpl
     sim::Task<Vec> reduceScatter(Rank self, int seq, Table contrib,
                                  ReduceOp op) override;
 
-  private:
+  protected:
     Rank
     coordOf(ClusterId c) const
     {

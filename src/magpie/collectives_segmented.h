@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Segmented (pipelined) cluster-aware collectives: bcast, reduce, and
+ * allreduce variants that split payloads into fixed-size segments and
+ * stream them through the MagPIe store-and-forward trees, overlapping
+ * wide-area transfers with local forwarding (in the style of "Fast
+ * Tuning of Intra-Cluster Collective Communications"). The remaining
+ * operations inherit the MagPIe algorithms.
+ *
+ * Segment streams are self-describing (each chunk carries its label),
+ * so receivers never need to know the sender's segment size — which is
+ * what makes the tuned bcast possible: only the root knows the variant
+ * the tuning table picked for its payload size, and every other rank
+ * recognises the protocol from the type of its first message.
+ */
+
+#ifndef TWOLAYER_MAGPIE_COLLECTIVES_SEGMENTED_H_
+#define TWOLAYER_MAGPIE_COLLECTIVES_SEGMENTED_H_
+
+#include <cstdint>
+
+#include "magpie/collectives_magpie.h"
+#include "magpie/policy.h"
+
+namespace tli::magpie {
+
+class SegmentedCollectives : public MagpieCollectives
+{
+  public:
+    SegmentedCollectives(panda::Panda &panda, int phases_per_call,
+                         std::uint32_t segment_bytes)
+        : MagpieCollectives(panda, phases_per_call),
+          segmentBytes_(segment_bytes)
+    {
+    }
+
+    sim::Task<Vec> bcast(Rank self, int seq, Rank root, Vec data) override;
+    sim::Task<Vec> reduce(Rank self, int seq, Rank root, Vec contrib,
+                          ReduceOp op) override;
+    sim::Task<Vec> allreduce(Rank self, int seq, Vec contrib,
+                             ReduceOp op) override;
+
+    /**
+     * Tuned-mode broadcast: @p rootChoice (magpie or segmented) is
+     * significant only at the root; every other rank receives
+     * protocol-agnostically. The classic path issues exactly the same
+     * messages at the same times as MagpieCollectives::bcast.
+     */
+    sim::Task<Vec> bcastTuned(Rank self, int seq, Rank root, Vec data,
+                              Choice rootChoice);
+
+  private:
+    /** Shared tag-level broadcast behind bcast/bcastTuned/allreduce. */
+    sim::Task<Vec> bcastAuto(Rank self, int wan_tag, int local_tag,
+                             Rank root, Vec data, Choice rootChoice);
+
+    /** Segmented reduce (local trees, then per-segment WAN stream). */
+    sim::Task<Vec> reduceSegmented(Rank self, int local_tag, int wan_tag,
+                                   Rank root, Vec contrib, ReduceOp op);
+
+    std::uint32_t segmentBytes_;
+};
+
+} // namespace tli::magpie
+
+#endif // TWOLAYER_MAGPIE_COLLECTIVES_SEGMENTED_H_

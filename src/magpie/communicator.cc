@@ -1,36 +1,35 @@
 #include "magpie/communicator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "magpie/collectives_flat.h"
 #include "magpie/collectives_magpie.h"
+#include "magpie/collectives_segmented.h"
+#include "magpie/tuning.h"
 
 namespace tli::magpie {
 
-const char *
-algorithmName(Algorithm a)
-{
-    switch (a) {
-      case Algorithm::flat:
-        return "flat";
-      case Algorithm::magpie:
-        return "magpie";
-    }
-    return "?";
-}
+namespace {
 
-Communicator::Communicator(panda::Panda &panda, Algorithm algorithm)
-    : panda_(panda), algorithm_(algorithm)
+/** The tag spacing the original two-family library always used; kept
+ *  as a floor so existing machines keep bit-identical tags. */
+constexpr int kLegacyPhasesPerCall = 160;
+
+} // namespace
+
+Communicator::Communicator(panda::Panda &panda, CollectivePolicy policy)
+    : panda_(panda), policy_(std::move(policy))
 {
-    switch (algorithm) {
-      case Algorithm::flat:
-        impl_ = std::make_unique<FlatCollectives>(panda);
-        break;
-      case Algorithm::magpie:
-        impl_ = std::make_unique<MagpieCollectives>(panda);
-        break;
+    const int ranks = panda.topology().totalRanks();
+    phases_ = std::max(kLegacyPhasesPerCall,
+                       policy_.phasesPerCall(ranks));
+    if (policy_.isTuned()) {
+        TLI_ASSERT(policy_.bound(),
+                   "tuned policy must be bound to a gap point "
+                   "(CollectivePolicy::boundTo) before use");
     }
-    seq_.assign(panda.topology().totalRanks(), 0);
+    seq_.assign(ranks, 0);
 }
 
 Communicator::~Communicator() = default;
@@ -41,101 +40,178 @@ Communicator::size() const
     return panda_.topology().totalRanks();
 }
 
+Choice
+Communicator::choiceFor(Op op, std::uint64_t bytes)
+{
+    const Choice c = policy_.isTuned()
+                         ? policy_.table()->choose(policy_.gapIndex(),
+                                                   op, bytes)
+                         : policy_.choice(op);
+    if (logged_.emplace(static_cast<int>(op), bytes).second) {
+        dispatchLog_.push_back(std::string(opName(op)) + ':' +
+                               std::to_string(bytes) + '=' + c.spec());
+    }
+    return c;
+}
+
+CollectivesImpl &
+Communicator::implFor(const Choice &c)
+{
+    switch (c.family) {
+      case Family::flat:
+        if (!flat_)
+            flat_ = std::make_unique<FlatCollectives>(panda_, phases_);
+        return *flat_;
+      case Family::magpie:
+        if (!magpie_)
+            magpie_ = std::make_unique<MagpieCollectives>(panda_, phases_);
+        return *magpie_;
+      case Family::segmented:
+        break;
+    }
+    auto &slot = seg_[c.segmentBytes];
+    if (!slot) {
+        slot = std::make_unique<SegmentedCollectives>(panda_, phases_,
+                                                      c.segmentBytes);
+    }
+    return *slot;
+}
+
+SegmentedCollectives &
+Communicator::tunedBcastImpl()
+{
+    if (!tunedBcast_) {
+        tunedBcast_ = std::make_unique<SegmentedCollectives>(panda_,
+                                                             phases_, 0);
+    }
+    return *tunedBcast_;
+}
+
 sim::Task<void>
 Communicator::barrier(Rank self)
 {
-    co_await impl_->barrier(self, nextSeq(self));
+    const Choice c = choiceFor(Op::barrier, 0);
+    co_await implFor(c).barrier(self, nextSeq(self));
 }
 
 sim::Task<Vec>
 Communicator::bcast(Rank self, Rank root, Vec data)
 {
-    co_return co_await impl_->bcast(self, nextSeq(self), root,
-                                    std::move(data));
+    if (policy_.isTuned()) {
+        // Only the root knows the payload size the table keys on; the
+        // other ranks receive protocol-agnostically (the tuned-bcast
+        // candidate set is restricted to magpie/segmented for exactly
+        // this reason).
+        const int seq = nextSeq(self);
+        Choice rootChoice;
+        if (self == root)
+            rootChoice = choiceFor(Op::bcast, wireSize(data));
+        co_return co_await tunedBcastImpl().bcastTuned(
+            self, seq, root, std::move(data), rootChoice);
+    }
+    const Choice c = choiceFor(Op::bcast, wireSize(data));
+    co_return co_await implFor(c).bcast(self, nextSeq(self), root,
+                                        std::move(data));
 }
 
 sim::Task<Vec>
 Communicator::reduce(Rank self, Rank root, Vec contrib, ReduceOp op)
 {
-    co_return co_await impl_->reduce(self, nextSeq(self), root,
-                                     std::move(contrib), op);
+    const Choice c = choiceFor(Op::reduce, wireSize(contrib));
+    co_return co_await implFor(c).reduce(self, nextSeq(self), root,
+                                         std::move(contrib), op);
 }
 
 sim::Task<Vec>
 Communicator::allreduce(Rank self, Vec contrib, ReduceOp op)
 {
-    co_return co_await impl_->allreduce(self, nextSeq(self),
-                                        std::move(contrib), op);
+    const Choice c = choiceFor(Op::allreduce, wireSize(contrib));
+    co_return co_await implFor(c).allreduce(self, nextSeq(self),
+                                            std::move(contrib), op);
 }
 
 sim::Task<Table>
 Communicator::gather(Rank self, Rank root, Vec contrib)
 {
-    co_return co_await impl_->gather(self, nextSeq(self), root,
-                                     std::move(contrib));
+    const Choice c = choiceFor(Op::gather, wireSize(contrib));
+    co_return co_await implFor(c).gather(self, nextSeq(self), root,
+                                         std::move(contrib));
 }
 
 sim::Task<Table>
 Communicator::gatherv(Rank self, Rank root, Vec contrib)
 {
-    co_return co_await impl_->gather(self, nextSeq(self), root,
-                                     std::move(contrib));
+    // Ragged sizes differ across ranks, so the dispatch key must not
+    // depend on them: *v forms use one size-aggregated decision.
+    const Choice c = choiceFor(Op::gatherv, 0);
+    co_return co_await implFor(c).gather(self, nextSeq(self), root,
+                                         std::move(contrib));
 }
 
 sim::Task<Vec>
 Communicator::scatter(Rank self, Rank root, Table chunks)
 {
-    co_return co_await impl_->scatter(self, nextSeq(self), root,
-                                      std::move(chunks));
+    // The payload is significant at the root only; non-roots may pass
+    // an empty table, so scatter also dispatches size-aggregated.
+    const Choice c = choiceFor(Op::scatter, 0);
+    co_return co_await implFor(c).scatter(self, nextSeq(self), root,
+                                          std::move(chunks));
 }
 
 sim::Task<Vec>
 Communicator::scatterv(Rank self, Rank root, Table chunks)
 {
-    co_return co_await impl_->scatter(self, nextSeq(self), root,
-                                      std::move(chunks));
+    const Choice c = choiceFor(Op::scatterv, 0);
+    co_return co_await implFor(c).scatter(self, nextSeq(self), root,
+                                          std::move(chunks));
 }
 
 sim::Task<Table>
 Communicator::allgather(Rank self, Vec contrib)
 {
-    co_return co_await impl_->allgather(self, nextSeq(self),
-                                        std::move(contrib));
+    const Choice c = choiceFor(Op::allgather, wireSize(contrib));
+    co_return co_await implFor(c).allgather(self, nextSeq(self),
+                                            std::move(contrib));
 }
 
 sim::Task<Table>
 Communicator::allgatherv(Rank self, Vec contrib)
 {
-    co_return co_await impl_->allgather(self, nextSeq(self),
-                                        std::move(contrib));
+    const Choice c = choiceFor(Op::allgatherv, 0);
+    co_return co_await implFor(c).allgather(self, nextSeq(self),
+                                            std::move(contrib));
 }
 
 sim::Task<Table>
 Communicator::alltoall(Rank self, Table sendbuf)
 {
-    co_return co_await impl_->alltoall(self, nextSeq(self),
-                                       std::move(sendbuf));
+    const Choice c = choiceFor(Op::alltoall, wireSize(sendbuf));
+    co_return co_await implFor(c).alltoall(self, nextSeq(self),
+                                           std::move(sendbuf));
 }
 
 sim::Task<Table>
 Communicator::alltoallv(Rank self, Table sendbuf)
 {
-    co_return co_await impl_->alltoall(self, nextSeq(self),
-                                       std::move(sendbuf));
+    const Choice c = choiceFor(Op::alltoallv, 0);
+    co_return co_await implFor(c).alltoall(self, nextSeq(self),
+                                           std::move(sendbuf));
 }
 
 sim::Task<Vec>
 Communicator::scan(Rank self, Vec contrib, ReduceOp op)
 {
-    co_return co_await impl_->scan(self, nextSeq(self),
-                                   std::move(contrib), op);
+    const Choice c = choiceFor(Op::scan, wireSize(contrib));
+    co_return co_await implFor(c).scan(self, nextSeq(self),
+                                       std::move(contrib), op);
 }
 
 sim::Task<Vec>
 Communicator::reduceScatter(Rank self, Table contrib, ReduceOp op)
 {
-    co_return co_await impl_->reduceScatter(self, nextSeq(self),
-                                            std::move(contrib), op);
+    const Choice c = choiceFor(Op::reduce_scatter, wireSize(contrib));
+    co_return co_await implFor(c).reduceScatter(self, nextSeq(self),
+                                                std::move(contrib), op);
 }
 
 } // namespace tli::magpie

@@ -2,33 +2,33 @@
  * @file
  * The public collective-communication API: the fourteen MPI-1
  * collective operations over all ranks of the two-layer machine, with
- * a selectable algorithm family (flat MPICH-like baseline, or the
- * cluster-aware MagPIe algorithms of paper §6).
+ * per-operation algorithm selection through a CollectivePolicy (flat
+ * MPICH-like baselines, the cluster-aware MagPIe algorithms of paper
+ * §6, pipelined segmented variants, or tuned dispatch from a persisted
+ * decision table).
  */
 
 #ifndef TWOLAYER_MAGPIE_COMMUNICATOR_H_
 #define TWOLAYER_MAGPIE_COMMUNICATOR_H_
 
+#include <map>
 #include <memory>
+#include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "magpie/impl.h"
+#include "magpie/policy.h"
 #include "magpie/types.h"
 #include "panda/panda.h"
 #include "sim/task.h"
 
 namespace tli::magpie {
 
-/** Which collective algorithm family a Communicator uses. */
-enum class Algorithm
-{
-    /** Topology-oblivious baselines in the style of MPICH 1.x. */
-    flat,
-    /** Cluster-aware wide-area-optimal algorithms (MagPIe). */
-    magpie,
-};
-
-const char *algorithmName(Algorithm a);
+class CollectivesImpl;
+class FlatCollectives;
+class MagpieCollectives;
+class SegmentedCollectives;
 
 /**
  * A communicator spanning every rank of the machine.
@@ -41,15 +41,19 @@ const char *algorithmName(Algorithm a);
  * Fixed-count operations (gather, scatter, allgather, alltoall,
  * reduce, allreduce, reduceScatter, scan, bcast) require equal-length
  * contributions on every rank; the *v variants accept ragged sizes.
+ *
+ * The policy maps every operation to its algorithm variant; a tuned
+ * policy (CollectivePolicy::tuned, bound to a gap point) selects per
+ * (operation, message size) from its decision table at call time.
  */
 class Communicator
 {
   public:
-    Communicator(panda::Panda &panda, Algorithm algorithm);
+    Communicator(panda::Panda &panda, CollectivePolicy policy);
     ~Communicator();
 
     int size() const;
-    Algorithm algorithm() const { return algorithm_; }
+    const CollectivePolicy &policy() const { return policy_; }
 
     /** MPI_Barrier. */
     sim::Task<void> barrier(Rank self);
@@ -97,6 +101,17 @@ class Communicator
     /** Number of collective calls issued by rank 0 (diagnostics). */
     int callsIssued() const { return seq_.empty() ? 0 : seq_[0]; }
 
+    /**
+     * Distinct dispatch decisions taken so far, "op:bytes=variant" in
+     * first-use order. Under a tuned policy this is the per-run record
+     * that makes results reproducible; static policies log their fixed
+     * choices the same way.
+     */
+    const std::vector<std::string> &dispatchLog() const
+    {
+        return dispatchLog_;
+    }
+
   private:
     int
     nextSeq(Rank self)
@@ -104,10 +119,22 @@ class Communicator
         return seq_[self]++;
     }
 
+    /** The (possibly table-driven) variant for one call. */
+    Choice choiceFor(Op op, std::uint64_t bytes);
+    /** The lazily-created implementation behind a choice. */
+    CollectivesImpl &implFor(const Choice &c);
+    SegmentedCollectives &tunedBcastImpl();
+
     panda::Panda &panda_;
-    Algorithm algorithm_;
-    std::unique_ptr<CollectivesImpl> impl_;
+    CollectivePolicy policy_;
+    int phases_;
+    std::unique_ptr<FlatCollectives> flat_;
+    std::unique_ptr<MagpieCollectives> magpie_;
+    std::map<std::uint32_t, std::unique_ptr<SegmentedCollectives>> seg_;
+    std::unique_ptr<SegmentedCollectives> tunedBcast_;
     std::vector<int> seq_;
+    std::vector<std::string> dispatchLog_;
+    std::set<std::pair<int, std::uint64_t>> logged_;
 };
 
 } // namespace tli::magpie

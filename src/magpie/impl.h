@@ -9,6 +9,8 @@
 #define TWOLAYER_MAGPIE_IMPL_H_
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -31,7 +33,18 @@ namespace tli::magpie {
 class CollectivesImpl
 {
   public:
-    explicit CollectivesImpl(panda::Panda &panda) : panda_(panda) {}
+    /**
+     * @param phases_per_call tag spacing between consecutive collective
+     *        calls. The Communicator derives it from its
+     *        CollectivePolicy (never below the historical 160, so
+     *        existing machines keep identical tags); segmented and
+     *        large-rank-count variants raise it instead of overflowing.
+     */
+    CollectivesImpl(panda::Panda &panda, int phases_per_call)
+        : panda_(panda), phasesPerCall_(phases_per_call)
+    {
+        TLI_ASSERT(phases_per_call > 0, "phase budget must be positive");
+    }
     virtual ~CollectivesImpl() = default;
 
     virtual sim::Task<void> barrier(Rank self, int seq) = 0;
@@ -55,13 +68,23 @@ class CollectivesImpl
                                          Table contrib, ReduceOp op) = 0;
 
   protected:
-    /** Message tag for phase @p phase of collective call @p seq. */
+    /**
+     * Message tag for phase @p phase of collective call @p seq.
+     * Collision-free by construction: phases are confined to the
+     * policy-derived per-call budget (asserted in debug) and the whole
+     * tag must fit in int without wrapping into the next call's range.
+     */
     int
     tagFor(int seq, int phase) const
     {
-        TLI_ASSERT(phase >= 0 && phase < phasesPerCall,
+        TLI_ASSERT(phase >= 0 && phase < phasesPerCall_,
                    "collective phase out of range: ", phase);
-        return tagBase + seq * phasesPerCall + phase;
+        const std::int64_t tag =
+            static_cast<std::int64_t>(tagBase) +
+            static_cast<std::int64_t>(seq) * phasesPerCall_ + phase;
+        TLI_ASSERT(tag <= std::numeric_limits<int>::max(),
+                   "collective tag overflow at seq ", seq);
+        return static_cast<int>(tag);
     }
 
     /** Send any payload type that has a wireSize() overload. */
@@ -157,13 +180,75 @@ class CollectivesImpl
         co_return contrib;
     }
 
+    /**
+     * Children of @p self in bcastOver's binomial tree over @p members
+     * rooted at @p local_root, in bcastOver's exact send order. Used
+     * by protocols that forward data chunk-by-chunk (and by the tuned
+     * bcast receiver, which learns the protocol only from its first
+     * message) — it must stay in lockstep with bcastOver above.
+     */
+    std::vector<Rank>
+    bcastChildren(const std::vector<Rank> &members, Rank local_root,
+                  Rank self) const
+    {
+        const int n = static_cast<int>(members.size());
+        const int root_idx = indexOf(members, local_root);
+        const int vrank = (indexOf(members, self) - root_idx + n) % n;
+
+        int mask = 1;
+        while (mask < n) {
+            if (vrank & mask)
+                break;
+            mask <<= 1;
+        }
+        std::vector<Rank> children;
+        mask >>= 1;
+        while (mask > 0) {
+            if (vrank + mask < n)
+                children.push_back(members[(vrank + mask + root_idx) % n]);
+            mask >>= 1;
+        }
+        return children;
+    }
+
+    /** Where @p self sits in reduceOver's binomial tree. */
+    struct TreePosition
+    {
+        int childCount = 0;
+        bool hasParent = false;
+        Rank parent = 0;
+    };
+
+    TreePosition
+    reduceTreePosition(const std::vector<Rank> &members, Rank local_root,
+                       Rank self) const
+    {
+        const int n = static_cast<int>(members.size());
+        const int root_idx = indexOf(members, local_root);
+        const int vrank = (indexOf(members, self) - root_idx + n) % n;
+
+        TreePosition pos;
+        int mask = 1;
+        while (mask < n) {
+            if (vrank & mask) {
+                pos.hasParent = true;
+                pos.parent = members[(vrank - mask + root_idx) % n];
+                break;
+            }
+            if (vrank + mask < n)
+                ++pos.childCount;
+            mask <<= 1;
+        }
+        return pos;
+    }
+
     int size() const { return panda_.topology().totalRanks(); }
     const net::Topology &topo() const { return panda_.topology(); }
 
     static constexpr int tagBase = 1 << 16;
-    static constexpr int phasesPerCall = 160;
 
     panda::Panda &panda_;
+    const int phasesPerCall_;
 };
 
 } // namespace tli::magpie

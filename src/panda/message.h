@@ -36,6 +36,14 @@ struct Message
     int replyTag = -1;
     std::any payload;
 
+    /** Whether the payload currently holds a T (protocol dispatch). */
+    template <typename T>
+    bool
+    holds() const
+    {
+        return std::any_cast<T>(&payload) != nullptr;
+    }
+
     /** Typed payload access; panics on type mismatch (a program bug). */
     template <typename T>
     const T &

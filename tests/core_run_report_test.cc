@@ -177,6 +177,37 @@ TEST(RunReport, DocumentRoundTripsHeadlineFields)
     EXPECT_FALSE(in_string);
 }
 
+TEST(RunReport, CollectivesFieldsAppearOnlyWhenNonDefault)
+{
+    core::Scenario s;
+    s.clusters = 2;
+    s.procsPerCluster = 2;
+    s.problemScale = 0.05;
+
+    // Default policy: byte-compatible with the pre-policy schema.
+    core::RunResult r = apps::findVariant("water", "opt").run(s);
+    std::ostringstream plain;
+    core::writeRunReport(plain, "water/opt", s, r, nullptr);
+    EXPECT_EQ(plain.str().find("\"collectives\""), std::string::npos);
+    EXPECT_EQ(plain.str().find("collective_dispatch"),
+              std::string::npos);
+
+    // Non-default policy: the spec and the dispatch decisions taken
+    // during the run are part of the report.
+    s.collectives = magpie::CollectivePolicy::magpie();
+    core::RunResult rm = apps::findVariant("water", "opt").run(s);
+    std::ostringstream tuned;
+    core::writeRunReport(tuned, "water/opt", s, rm, nullptr);
+    const std::string json = tuned.str();
+    EXPECT_NE(json.find("\"collectives\": \"magpie\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"collective_dispatch\""),
+              std::string::npos);
+    EXPECT_FALSE(rm.collectiveDispatch.empty());
+    for (const std::string &d : rm.collectiveDispatch)
+        EXPECT_NE(json.find(d), std::string::npos) << d;
+}
+
 TEST(JsonWriter, EscapesAndNestsCorrectly)
 {
     std::ostringstream os;

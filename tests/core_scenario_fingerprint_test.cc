@@ -70,6 +70,31 @@ TEST(ScenarioFingerprint, EveryKnobChangesTheHash)
     s = base;
     s.seed = 7;
     EXPECT_TRUE(differs(s));
+    s = base;
+    s.collectives = magpie::CollectivePolicy::magpie();
+    EXPECT_TRUE(differs(s));
+}
+
+TEST(ScenarioFingerprint, CollectivesAppendOnlyWhenNonDefault)
+{
+    // The collectives spec joined the canonical serialization in the
+    // tuned-collectives PR, appended only when non-default so that
+    // every pre-existing fingerprint (and result cache entry) stays
+    // valid — the pinned golden above is the proof for the default.
+    Scenario base;
+    Scenario flat;
+    flat.collectives = magpie::CollectivePolicy::flat();
+    EXPECT_EQ(flat.fingerprint(), base.fingerprint());
+
+    Scenario magpie;
+    magpie.collectives = magpie::CollectivePolicy::magpie();
+    Scenario seg;
+    seg.collectives =
+        *magpie::parseCollectivePolicy("magpie,bcast=seg:16k");
+    EXPECT_NE(magpie.fingerprint(), base.fingerprint());
+    EXPECT_NE(seg.fingerprint(), base.fingerprint());
+    // Distinct policies are distinct experiments.
+    EXPECT_NE(seg.fingerprint(), magpie.fingerprint());
 }
 
 TEST(ScenarioFingerprint, NearbyDoublesDoNotCollide)
@@ -110,6 +135,10 @@ TEST(ScenarioEquality, AllKnobsEqualMeansEqual)
 
     b.seed = 43;
     EXPECT_FALSE(a == b);
+    EXPECT_TRUE(a != b);
+
+    b = a;
+    b.collectives = magpie::CollectivePolicy::magpie();
     EXPECT_TRUE(a != b);
 
     b = a;

@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <numeric>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -29,10 +30,10 @@ struct World
     panda::Panda panda;
     Communicator comm;
 
-    World(int clusters, int procs, Algorithm alg,
+    World(int clusters, int procs, const CollectivePolicy &policy,
           net::FabricParams p = net::Profile::das(6.0, 10.0).params())
         : topo(clusters, procs), fabric(sim, topo, p),
-          panda(sim, fabric), comm(panda, alg)
+          panda(sim, fabric), comm(panda, policy)
     {
     }
 
@@ -51,8 +52,8 @@ struct World
     }
 };
 
-/** (clusters, procsPerCluster, algorithm) */
-using Shape = std::tuple<int, int, Algorithm>;
+/** (clusters, procsPerCluster, policy spec as --collectives spells it) */
+using Shape = std::tuple<int, int, std::string>;
 
 class CollectivesAllAlgos : public ::testing::TestWithParam<Shape>
 {
@@ -60,8 +61,10 @@ class CollectivesAllAlgos : public ::testing::TestWithParam<Shape>
     std::unique_ptr<World>
     makeWorld()
     {
-        auto [c, p, a] = GetParam();
-        return std::make_unique<World>(c, p, a);
+        auto [c, p, spec] = GetParam();
+        auto policy = parseCollectivePolicy(spec);
+        EXPECT_TRUE(policy.has_value()) << spec;
+        return std::make_unique<World>(c, p, *policy);
     }
 };
 
@@ -366,27 +369,26 @@ shapeName(const ::testing::TestParamInfo<Shape> &info)
 {
     int clusters = std::get<0>(info.param);
     int procs = std::get<1>(info.param);
-    Algorithm alg = std::get<2>(info.param);
-    return std::string(algorithmName(alg)) + "_" +
-           std::to_string(clusters) + "x" + std::to_string(procs);
+    return std::get<2>(info.param) + "_" + std::to_string(clusters) +
+           "x" + std::to_string(procs);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Shapes, CollectivesAllAlgos,
     ::testing::Values(
-        Shape{1, 1, Algorithm::flat}, Shape{1, 1, Algorithm::magpie},
-        Shape{1, 8, Algorithm::flat}, Shape{1, 8, Algorithm::magpie},
-        Shape{2, 3, Algorithm::flat}, Shape{2, 3, Algorithm::magpie},
-        Shape{4, 8, Algorithm::flat}, Shape{4, 8, Algorithm::magpie},
-        Shape{8, 4, Algorithm::flat}, Shape{8, 4, Algorithm::magpie},
-        Shape{3, 5, Algorithm::flat}, Shape{3, 5, Algorithm::magpie}),
+        Shape{1, 1, "flat"}, Shape{1, 1, "magpie"},
+        Shape{1, 8, "flat"}, Shape{1, 8, "magpie"},
+        Shape{2, 3, "flat"}, Shape{2, 3, "magpie"},
+        Shape{4, 8, "flat"}, Shape{4, 8, "magpie"},
+        Shape{8, 4, "flat"}, Shape{8, 4, "magpie"},
+        Shape{3, 5, "flat"}, Shape{3, 5, "magpie"}),
     shapeName);
 
 // --- MagPIe-specific wide-area properties -------------------------------
 
 TEST(MagpieProperties, BcastCrossesEachWanLinkOnce)
 {
-    World w(4, 8, Algorithm::magpie);
+    World w(4, 8, CollectivePolicy::magpie());
     auto proc = [&](Rank self) -> sim::Task<void> {
         Vec data = self == 0 ? Vec(1000, 1.0) : Vec{};
         (void)co_await w.comm.bcast(self, 0, std::move(data));
@@ -398,7 +400,7 @@ TEST(MagpieProperties, BcastCrossesEachWanLinkOnce)
 
 TEST(MagpieProperties, FlatBcastCrossesWanMore)
 {
-    World w(4, 8, Algorithm::flat);
+    World w(4, 8, CollectivePolicy::flat());
     auto proc = [&](Rank self) -> sim::Task<void> {
         Vec data = self == 0 ? Vec(1000, 1.0) : Vec{};
         (void)co_await w.comm.bcast(self, 0, std::move(data));
@@ -414,7 +416,7 @@ TEST(MagpieProperties, FlatBcastCrossesWanMore)
 
 TEST(MagpieProperties, ReduceCrossesEachWanLinkOnce)
 {
-    World w(4, 8, Algorithm::magpie);
+    World w(4, 8, CollectivePolicy::magpie());
     auto proc = [&](Rank self) -> sim::Task<void> {
         Vec contrib{1.0};
         (void)co_await w.comm.reduce(self, 0, std::move(contrib),
@@ -426,7 +428,7 @@ TEST(MagpieProperties, ReduceCrossesEachWanLinkOnce)
 
 TEST(MagpieProperties, AlltoallCombinesPerCluster)
 {
-    World w(4, 8, Algorithm::magpie);
+    World w(4, 8, CollectivePolicy::magpie());
     auto proc = [&](Rank self) -> sim::Task<void> {
         Table send(w.size());
         for (Rank d = 0; d < w.size(); ++d)
@@ -441,8 +443,8 @@ TEST(MagpieProperties, AlltoallCombinesPerCluster)
 TEST(MagpieProperties, MagpieBcastFasterOnHighLatency)
 {
     // At 100 ms WAN latency the cluster-aware tree must win clearly.
-    auto timeOf = [](Algorithm alg) {
-        World w(4, 8, alg, net::Profile::das(6.0, 100.0).params());
+    auto timeOf = [](const CollectivePolicy &policy) {
+        World w(4, 8, policy, net::Profile::das(6.0, 100.0).params());
         auto proc = [&](Rank self) -> sim::Task<void> {
             Vec data = self == 0 ? Vec(1000, 1.0) : Vec{};
             (void)co_await w.comm.bcast(self, 0, std::move(data));
@@ -452,8 +454,8 @@ TEST(MagpieProperties, MagpieBcastFasterOnHighLatency)
         w.sim.run();
         return w.sim.now();
     };
-    double flat = timeOf(Algorithm::flat);
-    double magpie = timeOf(Algorithm::magpie);
+    double flat = timeOf(CollectivePolicy::flat());
+    double magpie = timeOf(CollectivePolicy::magpie());
     EXPECT_LT(magpie, flat);
     // The flat binomial tree chains WAN hops (two 100 ms latencies on
     // this layout); MagPIe pays one WAN latency plus local epsilon.
@@ -464,7 +466,7 @@ TEST(MagpieProperties, MagpieBcastFasterOnHighLatency)
 TEST(MagpieProperties, BarrierCompletesOnEveryShape)
 {
     for (int c : {1, 2, 4, 8}) {
-        World w(c, 32 / c, Algorithm::magpie);
+        World w(c, 32 / c, CollectivePolicy::magpie());
         auto proc = [&](Rank self) -> sim::Task<void> {
             co_await w.comm.barrier(self);
         };

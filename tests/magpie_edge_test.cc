@@ -24,18 +24,19 @@ struct World
     panda::Panda panda;
     Communicator comm;
 
-    World(int clusters, int procs, Algorithm alg)
+    World(int clusters, int procs, const CollectivePolicy &policy)
         : topo(clusters, procs),
           fabric(sim, topo, net::Profile::das(6.0, 1.0).params()),
-          panda(sim, fabric), comm(panda, alg)
+          panda(sim, fabric), comm(panda, policy)
     {
     }
 };
 
 TEST(MagpieEdge, EmptyVectorBroadcast)
 {
-    for (auto alg : {Algorithm::flat, Algorithm::magpie}) {
-        World w(2, 2, alg);
+    for (const auto &policy : {CollectivePolicy::flat(),
+                               CollectivePolicy::magpie()}) {
+        World w(2, 2, policy);
         int empties = 0;
         auto proc = [&](Rank self) -> sim::Task<void> {
             Vec out = co_await w.comm.bcast(self, 0, Vec{});
@@ -51,8 +52,9 @@ TEST(MagpieEdge, EmptyVectorBroadcast)
 
 TEST(MagpieEdge, SingleRankDegenerateOps)
 {
-    for (auto alg : {Algorithm::flat, Algorithm::magpie}) {
-        World w(1, 1, alg);
+    for (const auto &policy : {CollectivePolicy::flat(),
+                               CollectivePolicy::magpie()}) {
+        World w(1, 1, policy);
         bool ok = false;
         auto proc = [&]() -> sim::Task<void> {
             co_await w.comm.barrier(0);
@@ -74,7 +76,7 @@ TEST(MagpieEdge, SingleRankDegenerateOps)
         };
         w.sim.spawn(proc());
         w.sim.run();
-        EXPECT_TRUE(ok) << algorithmName(alg);
+        EXPECT_TRUE(ok) << policy.spec();
         EXPECT_EQ(w.fabric.stats().inter.messages, 0u);
         EXPECT_EQ(w.fabric.stats().intra.messages, 0u);
     }
@@ -82,7 +84,7 @@ TEST(MagpieEdge, SingleRankDegenerateOps)
 
 TEST(MagpieEdge, ProductAndMinMaxOperators)
 {
-    World w(2, 2, Algorithm::magpie);
+    World w(2, 2, CollectivePolicy::magpie());
     Vec prod_result;
     auto proc = [&](Rank self) -> sim::Task<void> {
         Vec contrib{self + 1.0};
@@ -128,8 +130,8 @@ class FamilyEquivalence : public ::testing::TestWithParam<int>
 TEST_P(FamilyEquivalence, FlatAndMagpieComputeIdenticalSums)
 {
     const int elems = GetParam();
-    auto total = [&](Algorithm alg) {
-        World w(3, 3, alg);
+    auto total = [&](const CollectivePolicy &policy) {
+        World w(3, 3, policy);
         auto result = std::make_shared<Vec>();
         auto proc = [&w, result, elems](Rank self) -> sim::Task<void> {
             Vec contrib(elems, self + 0.5);
@@ -144,8 +146,8 @@ TEST_P(FamilyEquivalence, FlatAndMagpieComputeIdenticalSums)
         w.sim.run();
         return *result;
     };
-    Vec flat = total(Algorithm::flat);
-    Vec magpie = total(Algorithm::magpie);
+    Vec flat = total(CollectivePolicy::flat());
+    Vec magpie = total(CollectivePolicy::magpie());
     ASSERT_EQ(flat.size(), static_cast<std::size_t>(elems));
     // Sums of identical values: order-independent, so exactly equal.
     EXPECT_EQ(flat, magpie);

@@ -9,9 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <filesystem>
 #include <string>
 #include <vector>
+
+#include "exec/tuning_io.h"
+#include "magpie/tuning.h"
 
 namespace tli::tools {
 namespace {
@@ -133,6 +137,49 @@ TEST(ScenarioOptionsParse, RejectsUnknownFlags)
     EXPECT_FALSE(opts.parseOne("--wan-dims=4xx2"));
     EXPECT_FALSE(opts.parseOne("--wan-dims="));
     EXPECT_FALSE(opts.parseOne("positional"));
+}
+
+TEST(ScenarioOptionsParse, CollectivesFlag)
+{
+    ScenarioOptions opts =
+        parseAll({"--collectives=magpie,bcast=seg:16k"});
+    EXPECT_EQ(opts.scenario.collectives.spec(),
+              "magpie,bcast=seg:16k");
+
+    ScenarioOptions bad;
+    EXPECT_FALSE(bad.parseOne("--collectives=mpich"));
+    EXPECT_FALSE(bad.parseOne("--collectives="));
+}
+
+TEST(ScenarioOptionsParse, TuningTableFlag)
+{
+    // A real table file round-trips into a bound-later tuned policy.
+    magpie::TuningTable t;
+    t.clusters = 2;
+    t.procsPerCluster = 2;
+    t.gaps = {{1.0, 10.0}};
+    t.cells.resize(1);
+    for (int i = 0; i < magpie::kOpCount; ++i)
+        t.cells[0][i].push_back({0, magpie::Choice::magpie()});
+    t.finalize();
+    const std::string path = "options_tuning_test.json";
+    exec::storeTuningTable(path, t);
+
+    ScenarioOptions opts = parseAll({"--tuning-table=" + path});
+    EXPECT_TRUE(opts.scenario.collectives.isTuned());
+    EXPECT_EQ(opts.scenario.collectives.spec(),
+              "tuned:" + [&] {
+                  char hex[32];
+                  std::snprintf(hex, sizeof hex, "%016llx",
+                                static_cast<unsigned long long>(
+                                    t.contentHash()));
+                  return std::string(hex);
+              }());
+    std::filesystem::remove(path);
+
+    ScenarioOptions missing;
+    EXPECT_FALSE(
+        missing.parseOne("--tuning-table=no_such_table.json"));
 }
 
 TEST(ScenarioOptionsParse, WanShapeFlags)

@@ -6,6 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "exec/tuning_io.h"
+#include "magpie/policy.h"
+
 namespace tli::tools {
 
 const char *
@@ -62,6 +65,24 @@ ScenarioOptions::parseOne(const char *arg)
             return false;
         }
         wanDims_ = std::move(*dims);
+    } else if (const char *v = flagValue(arg, "--collectives=")) {
+        std::optional<magpie::CollectivePolicy> policy =
+            magpie::parseCollectivePolicy(v);
+        if (!policy) {
+            std::fprintf(stderr, "bad collective policy: %s\n", v);
+            return false;
+        }
+        builder_.collectives(std::move(*policy));
+    } else if (const char *v = flagValue(arg, "--tuning-table=")) {
+        std::string err;
+        std::shared_ptr<const magpie::TuningTable> table =
+            exec::loadTuningTable(v, &err);
+        if (!table) {
+            std::fprintf(stderr, "cannot load tuning table %s\n",
+                         err.c_str());
+            return false;
+        }
+        builder_.collectives(magpie::CollectivePolicy::tuned(table));
     } else if (const char *v = flagValue(arg, "--scale="))
         builder_.problemScale(std::atof(v));
     else if (const char *v = flagValue(arg, "--seed="))
@@ -144,6 +165,13 @@ ScenarioOptions::usage(std::FILE *os)
         "                         a spec form, e.g. torus-4x4x2)\n"
         "  --wan-dims=AxBx...     per-dimension extents for torus or\n"
         "                         mesh; product must equal clusters\n"
+        "  --collectives=SPEC     collective policy: a family head\n"
+        "                         (flat | magpie) plus op=variant\n"
+        "                         overrides, e.g.\n"
+        "                         magpie,bcast=seg:16k (default flat)\n"
+        "  --tuning-table=FILE    dispatch collectives from a tuned\n"
+        "                         decision table (tli_tune output);\n"
+        "                         overrides --collectives\n"
         "  --scale=F              workload scale (default 1.0)\n"
         "  --seed=N               workload seed (default 42)\n"
         "  --all-myrinet          every link at Myrinet speed\n"

@@ -35,6 +35,7 @@
 
 #include "analysis/sensitivity.h"
 #include "apps/registry.h"
+#include "bench/collective_timing.h"
 #include "core/gap_study.h"
 #include "core/json.h"
 #include "exec/engine.h"
@@ -492,6 +493,66 @@ measurePrediction(double scale)
     return t;
 }
 
+/** One cell of the tuned-vs-static-MagPIe comparison. */
+struct TunedCollectiveRow
+{
+    std::string op;
+    int elems = 0;
+    double magpieSimS = 0; ///< static MagPIe completion (virtual s)
+    double bestSimS = 0;   ///< winning variant's completion
+    std::string bestSpec;  ///< the variant the tuner would pick
+};
+
+/**
+ * What auto-tuning buys per collective: time every variant the tuner
+ * enumerates (the tli_tune candidate set) on the paper's machine at a
+ * mid-gap WAN point and report the winner against static MagPIe.
+ * These are virtual (simulated) seconds — deterministic, so the
+ * deltas are exact properties of the protocols, not of this host.
+ */
+std::vector<TunedCollectiveRow>
+measureTunedCollectives(int clusters, int procs)
+{
+    const net::FabricParams params =
+        net::Profile::das(1.0, 10.0).params();
+    std::vector<TunedCollectiveRow> rows;
+    for (const char *name :
+         {"barrier", "bcast", "reduce", "allreduce", "gather"}) {
+        const magpie::Op op = *magpie::parseOp(name);
+        std::vector<magpie::Choice> candidates = {
+            magpie::Choice::magpie()};
+        if (op != magpie::Op::bcast)
+            candidates.push_back(magpie::Choice::flat());
+        if (magpie::segmentedSupported(op)) {
+            candidates.push_back(magpie::Choice::segmented(1024));
+            candidates.push_back(magpie::Choice::segmented(8192));
+        }
+        for (int elems : {8, 2048}) {
+            TunedCollectiveRow row;
+            row.op = name;
+            row.elems = op == magpie::Op::barrier ? 0 : elems;
+            for (const magpie::Choice &c : candidates) {
+                magpie::CollectivePolicy policy =
+                    magpie::CollectivePolicy::magpie();
+                policy.set(op, c);
+                const double t = bench::timeCollective(
+                    name, policy, params, clusters, procs,
+                    row.elems);
+                if (c == magpie::Choice::magpie())
+                    row.magpieSimS = t;
+                if (row.bestSpec.empty() || t < row.bestSimS) {
+                    row.bestSimS = t;
+                    row.bestSpec = c.spec();
+                }
+            }
+            rows.push_back(row);
+            if (op == magpie::Op::barrier)
+                break; // size-independent: one row is enough
+        }
+    }
+    return rows;
+}
+
 } // namespace
 
 int
@@ -558,6 +619,10 @@ main(int argc, char **argv)
                  "measuring analytical prediction vs DES sweep...\n");
     PredictionTimings pred =
         measurePrediction(reps <= 2 ? 0.25 : 0.5);
+    std::fprintf(stderr,
+                 "measuring tuned vs static MagPIe collectives...\n");
+    std::vector<TunedCollectiveRow> tunedRows =
+        measureTunedCollectives(4, 8);
     const std::int64_t rss = exec::peakRssBytes();
 
     // A parallel "speedup" measured with fewer hardware cores than
@@ -577,7 +642,7 @@ main(int argc, char **argv)
     {
         core::JsonWriter w(f);
         w.beginObject();
-        w.field("schema", 5);
+        w.field("schema", 6);
         w.field("label", label);
         w.key("event_queue").beginObject();
         w.field("workload_events", queue_events);
@@ -662,6 +727,21 @@ main(int argc, char **argv)
             w.field("speedup_simthreads8",
                     simt.seconds[0] / simt.seconds[3]);
         w.endObject();
+        w.key("tuned_collectives").beginArray();
+        for (const TunedCollectiveRow &row : tunedRows) {
+            w.beginObject();
+            w.field("op", row.op);
+            w.field("elems", row.elems);
+            w.field("magpie_sim_s", row.magpieSimS);
+            w.field("best_sim_s", row.bestSimS);
+            w.field("best_variant", row.bestSpec);
+            w.field("improvement_fraction",
+                    row.magpieSimS > 0
+                        ? 1.0 - row.bestSimS / row.magpieSimS
+                        : 0.0);
+            w.endObject();
+        }
+        w.endArray();
         w.key("prediction").beginObject();
         w.field("grid_cells",
                 static_cast<std::int64_t>(pred.cells));
@@ -732,6 +812,15 @@ main(int argc, char **argv)
                 simt.config.ranks(), simt.seconds[0],
                 simt.seconds[2], simt4,
                 simt.identical ? "" : "  FAIL: not bit-identical");
+    for (const TunedCollectiveRow &row : tunedRows) {
+        std::printf("tuned %-10s %5d elems: magpie %.4fs, best %s "
+                    "%.4fs (%.1f%% better)\n",
+                    row.op.c_str(), row.elems, row.magpieSimS,
+                    row.bestSpec.c_str(), row.bestSimS,
+                    100.0 * (row.magpieSimS > 0
+                                 ? 1.0 - row.bestSimS / row.magpieSimS
+                                 : 0.0));
+    }
     std::printf("prediction (%zu cells): %.3fs analysis vs %.3fs DES "
                 "sweep (%.1fx, max err %.2f%%)\n",
                 pred.cells, pred.analysisSeconds, pred.sweepSeconds,
